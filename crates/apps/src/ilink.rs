@@ -1,0 +1,255 @@
+//! ILINK: parallel genetic linkage analysis.
+//!
+//! The real program walks a pedigree, updating a genotype-probability
+//! array (`genarray`) for one nuclear family at a time; the update work per
+//! family depends on how many genotypes are compatible with the observed
+//! data, which cannot be predicted statically — the load-imbalance source
+//! the paper cites. Processors split each family's genotype range, update
+//! their slices, and meet at a barrier before the next family.
+//!
+//! The paper's CLP and BAD inputs are real (proprietary) disease-gene data
+//! sets; we generate synthetic pedigrees that preserve the two properties
+//! the paper says drive their difference: BAD has many small families
+//! (high barrier frequency, little work per barrier) with skewed activity
+//! (imbalance), CLP fewer, larger, better-balanced families.
+
+use tmk_parmacs::{Alloc, InitWriter, SharedSlice, System, Workload};
+
+use crate::band;
+
+/// One nuclear family's computational profile.
+///
+/// Each family has a *hot region* of the genotype array — the genotypes
+/// compatible with its observed data — where most of the work concentrates.
+/// The region's position rotates per family, so which processor gets the
+/// heavy slice is statically unpredictable (the paper's load-imbalance
+/// source). Activity is a pure function of the entry index, so the total
+/// work is identical at every processor count and on every platform.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Activity probability outside the hot region (in 1/1000).
+    pub base_permille: u32,
+    /// Activity probability inside the hot region (in 1/1000).
+    pub hot_permille: u32,
+    /// Hot region length as a fraction of the array: `genarray / hot_div`.
+    pub hot_div: usize,
+    /// Cycles charged per active entry.
+    pub cycles_per_entry: u64,
+}
+
+/// A synthetic pedigree: the input to ILINK.
+#[derive(Debug, Clone)]
+pub struct Pedigree {
+    /// Display name.
+    pub name: &'static str,
+    /// Genotype array length.
+    pub genarray: usize,
+    /// The families, processed in order with a barrier between each.
+    pub families: Vec<Family>,
+    /// Outer likelihood-evaluation iterations.
+    pub iterations: usize,
+    /// Read a window of another processor's slice every `peer_every`
+    /// families (cross-slice data dependence of the pedigree traversal).
+    pub peer_every: usize,
+    /// RNG seed for the activity pattern.
+    pub seed: u64,
+}
+
+impl Pedigree {
+    /// CLP-like input: fewer, larger, mostly balanced families — the
+    /// paper's best-speedup input.
+    pub fn clp_like() -> Self {
+        Pedigree {
+            name: "CLP",
+            genarray: 8192,
+            families: (0..12)
+                .map(|_| Family {
+                    base_permille: 600,
+                    hot_permille: 900,
+                    hot_div: 4,
+                    cycles_per_entry: 400,
+                })
+                .collect(),
+            iterations: 2,
+            peer_every: 4,
+            seed: 0xc19,
+        }
+    }
+
+    /// BAD-like input: many small families whose work concentrates in a
+    /// narrow rotating hot region — the paper's worst-speedup input (high
+    /// barrier rate, strong imbalance, high communication per unit of
+    /// computation).
+    pub fn bad_like() -> Self {
+        Pedigree {
+            name: "BAD",
+            genarray: 8192,
+            families: (0..120)
+                .map(|_| Family {
+                    base_permille: 150,
+                    hot_permille: 950,
+                    hot_div: 8,
+                    cycles_per_entry: 60,
+                })
+                .collect(),
+            iterations: 2,
+            peer_every: 1,
+            seed: 0xbad,
+        }
+    }
+
+    /// A tiny pedigree for tests.
+    pub fn tiny() -> Self {
+        Pedigree {
+            name: "TINY",
+            genarray: 256,
+            families: (0..4)
+                .map(|_| Family {
+                    base_permille: 400,
+                    hot_permille: 900,
+                    hot_div: 4,
+                    cycles_per_entry: 50,
+                })
+                .collect(),
+            iterations: 1,
+            peer_every: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// The ILINK workload.
+#[derive(Debug, Clone)]
+pub struct Ilink {
+    /// The pedigree to analyse.
+    pub pedigree: Pedigree,
+}
+
+/// Shared layout: the genotype-probability array.
+#[derive(Debug, Clone, Copy)]
+pub struct IlinkPlan {
+    /// `genarray` probabilities.
+    pub gen: SharedSlice<f64>,
+}
+
+impl Workload for Ilink {
+    type Plan = IlinkPlan;
+
+    fn segment_bytes(&self) -> usize {
+        (self.pedigree.genarray * 8 + 8192).next_multiple_of(4096)
+    }
+
+    fn plan(&self, alloc: &mut Alloc) -> IlinkPlan {
+        IlinkPlan {
+            gen: alloc.slice_aligned(self.pedigree.genarray, 4096),
+        }
+    }
+
+    fn init(&self, plan: &IlinkPlan, w: &mut dyn InitWriter) {
+        let g = self.pedigree.genarray;
+        let init: Vec<f64> = (0..g).map(|i| 1.0 + (i % 13) as f64 * 1e-3).collect();
+        plan.gen.init_range(w, 0, &init);
+    }
+
+    fn body(&self, sys: &dyn System, plan: &IlinkPlan) -> f64 {
+        let ped = &self.pedigree;
+        let g = ped.genarray;
+        let n = sys.nprocs();
+        let me = sys.pid();
+        let mine = band(g, n, me);
+        let mut buf = vec![0.0f64; mine.len()];
+        let mut peer = vec![0.0f64; mine.len().min(64)];
+
+        for it in 0..ped.iterations {
+            for (fi, fam) in ped.families.iter().enumerate() {
+                // Activity is a pure function of (seed, iteration, family,
+                // entry): identical work on every platform and partition.
+                let fam_seed = ped.seed ^ ((it as u64) << 32) ^ (fi as u64).wrapping_mul(0x9e37);
+                let hot_len = g / fam.hot_div;
+                let hot_start = (splitmix(fam_seed) as usize) % g;
+                let mut work = 0u64;
+                plan.gen.read_range(sys, mine.start, &mut buf);
+                for (off, v) in buf.iter_mut().enumerate() {
+                    let e = mine.start + off;
+                    let in_hot = (e + g - hot_start) % g < hot_len;
+                    let permille = if in_hot {
+                        fam.hot_permille
+                    } else {
+                        fam.base_permille
+                    };
+                    if splitmix(fam_seed ^ (e as u64)) % 1000 < u64::from(permille) {
+                        let scale = 1.0 + 1e-6 * (e % 17) as f64;
+                        *v *= scale;
+                        work += fam.cycles_per_entry;
+                    }
+                }
+                plan.gen.write_range(sys, mine.start, &buf);
+                // Cross-slice dependency: read a window of the next
+                // processor's slice (pedigree traversal links families).
+                if n > 1 && !peer.is_empty() && fi % ped.peer_every == 0 {
+                    let other = band(g, n, (me + 1 + fi) % n);
+                    let len = peer.len().min(other.len());
+                    plan.gen.read_range(sys, other.start, &mut peer[..len]);
+                }
+                sys.compute(work);
+                sys.barrier(0);
+                if it == 0 && fi == 0 && me == 0 {
+                    sys.mark();
+                }
+            }
+        }
+
+        plan.gen.read_range(sys, mine.start, &mut buf);
+        buf.iter().sum()
+    }
+}
+
+/// SplitMix64: a tiny, high-quality hash for per-entry decisions.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Sequential reference run.
+pub fn reference(cfg: &Ilink) -> f64 {
+    use tmk_parmacs::SequentialSystem;
+    let mut sys = SequentialSystem::new(cfg.segment_bytes());
+    let mut alloc = Alloc::new(cfg.segment_bytes());
+    let plan = cfg.plan(&mut alloc);
+    cfg.init(&plan, &mut sys);
+    cfg.body(&sys, &plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_deterministic() {
+        let cfg = Ilink {
+            pedigree: Pedigree::tiny(),
+        };
+        assert_eq!(reference(&cfg), reference(&cfg));
+    }
+
+    #[test]
+    fn families_change_the_array() {
+        let cfg = Ilink {
+            pedigree: Pedigree::tiny(),
+        };
+        let v = reference(&cfg);
+        let untouched: f64 = {
+            let mut c = cfg.clone();
+            c.pedigree.families.clear();
+            reference(&c)
+        };
+        assert!(v > untouched, "multiplicative updates only increase");
+    }
+
+    #[test]
+    fn bad_has_more_families_than_clp() {
+        assert!(Pedigree::bad_like().families.len() > 3 * Pedigree::clp_like().families.len());
+    }
+}

@@ -1,0 +1,71 @@
+//! `tmk-apps`: the case study's application suite — SOR, TSP, Water,
+//! M-Water and ILINK — written once against the PARMACS-like
+//! [`tmk_parmacs::System`] interface and run unmodified on every platform.
+//!
+//! Each application implements [`tmk_parmacs::Workload`] and mirrors the
+//! sharing and synchronization structure the paper analyses:
+//!
+//! * [`sor::Sor`] — red-black successive over-relaxation; barriers only;
+//!   nearest-neighbor band sharing; stores every point every iteration
+//!   (whether or not its value changed), which is what lets TreadMarks'
+//!   diffs beat the bus machine's unconditional data movement.
+//! * [`tsp::Tsp`] — branch-and-bound traveling salesman; locks only
+//!   (a shared tour queue plus a shared best-bound read *without*
+//!   synchronization — the stale-read behavior §2.4.3 analyses).
+//! * [`water::Water`] — molecular dynamics; locks + barriers; a lock
+//!   acquisition per force *update* (Water) or per *molecule touched*
+//!   (M-Water, the paper's reduced-synchronization modification).
+//! * [`ilink::Ilink`] — genetic linkage analysis; barriers only;
+//!   statically unpredictable per-family work (the load imbalance the
+//!   paper attributes ILINK's sublinear speedup to). The paper's CLP and
+//!   BAD pedigrees are proprietary; [`ilink::Pedigree::clp_like`] and
+//!   [`ilink::Pedigree::bad_like`] are synthetic equivalents preserving
+//!   their barrier-frequency and data-rate contrast (see `DESIGN.md`).
+
+pub mod ilink;
+pub mod sor;
+pub mod tsp;
+pub mod water;
+
+/// Splits `0..total` into `procs` contiguous chunks; returns chunk `pid`.
+///
+/// The bands are as equal as possible (first `total % procs` chunks get one
+/// extra element) — the standard PARMACS row partitioning.
+pub fn band(total: usize, procs: usize, pid: usize) -> std::ops::Range<usize> {
+    let base = total / procs;
+    let extra = total % procs;
+    let start = pid * base + pid.min(extra);
+    let len = base + usize::from(pid < extra);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_exactly() {
+        for procs in 1..9 {
+            for total in [1usize, 7, 64, 100] {
+                let mut covered = 0;
+                let mut next = 0;
+                for p in 0..procs {
+                    let b = band(total, procs, p);
+                    assert_eq!(b.start, next);
+                    next = b.end;
+                    covered += b.len();
+                }
+                assert_eq!(covered, total);
+                assert_eq!(next, total);
+            }
+        }
+    }
+
+    #[test]
+    fn bands_are_balanced() {
+        for p in 0..8 {
+            let len = band(100, 8, p).len();
+            assert!(len == 12 || len == 13);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Water: a molecular-dynamics simulation in the style of the SPLASH
+//! benchmark the paper uses.
+//!
+//! Each time step computes O(n²/2) pairwise interactions (each processor
+//! handles the pairs of its owned molecules against the following half of
+//! the array), then integrates positions. Force accumulation into shared
+//! molecule records is the synchronization hot spot:
+//!
+//! * **Water**: a lock is acquired on a molecule's record for *every*
+//!   individual force update — the enormous remote-lock rate that flattens
+//!   TreadMarks' speedup in Figure 7.
+//! * **M-Water** (the paper's modification): each processor accumulates its
+//!   updates locally and applies them *once per touched molecule* at the
+//!   end of the interaction phase, cutting lock acquires to the number of
+//!   molecules touched.
+//!
+//! The physics is a simplified soft inverse-square interaction — the
+//! sharing pattern, not the potential, is what the study measures.
+
+use tmk_parmacs::{Alloc, InitWriter, SharedSlice, System, Workload};
+
+use crate::band;
+
+/// Offset of the first molecule lock id (0..n map to molecules).
+const MOL_LOCK_BASE: usize = 8;
+
+/// Which force-accumulation discipline to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaterMode {
+    /// Lock per force update (the original program).
+    Original,
+    /// Locally accumulated updates applied once per molecule (M-Water).
+    Modified,
+}
+
+/// The Water workload.
+#[derive(Debug, Clone)]
+pub struct Water {
+    /// Number of molecules (the paper runs 288).
+    pub molecules: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// Water or M-Water.
+    pub mode: WaterMode,
+    /// Cycles charged per pairwise interaction.
+    pub cycles_per_pair: u64,
+}
+
+impl Water {
+    /// The paper's configuration: 288 molecules (steps scaled to 2 for
+    /// simulation cost; the paper notes results are largely
+    /// input-independent).
+    pub fn paper(mode: WaterMode) -> Self {
+        Water {
+            molecules: 288,
+            steps: 2,
+            mode,
+            cycles_per_pair: 4000,
+        }
+    }
+
+    /// A tiny configuration for tests.
+    pub fn tiny(mode: WaterMode) -> Self {
+        Water {
+            molecules: 24,
+            steps: 2,
+            mode,
+            cycles_per_pair: 4000,
+        }
+    }
+}
+
+/// Shared layout: structure-of-arrays for positions, velocities, forces.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterPlan {
+    /// `3n` coordinates.
+    pub pos: SharedSlice<f64>,
+    /// `3n` velocities.
+    pub vel: SharedSlice<f64>,
+    /// `3n` force accumulators.
+    pub force: SharedSlice<f64>,
+}
+
+impl Workload for Water {
+    type Plan = WaterPlan;
+
+    fn segment_bytes(&self) -> usize {
+        (9 * self.molecules * 8 + 3 * 8192).next_multiple_of(4096)
+    }
+
+    fn plan(&self, alloc: &mut Alloc) -> WaterPlan {
+        WaterPlan {
+            pos: alloc.slice_aligned(3 * self.molecules, 4096),
+            vel: alloc.slice_aligned(3 * self.molecules, 4096),
+            force: alloc.slice_aligned(3 * self.molecules, 4096),
+        }
+    }
+
+    fn init(&self, plan: &WaterPlan, w: &mut dyn InitWriter) {
+        // A deterministic lattice-with-jitter initial configuration.
+        let n = self.molecules;
+        let side = (n as f64).cbrt().ceil() as usize;
+        let mut pos = vec![0.0f64; 3 * n];
+        for m in 0..n {
+            let (x, y, z) = (m % side, (m / side) % side, m / (side * side));
+            let jitter = ((m * 2654435761) % 1000) as f64 / 5000.0;
+            pos[3 * m] = x as f64 + jitter;
+            pos[3 * m + 1] = y as f64 + jitter * 0.5;
+            pos[3 * m + 2] = z as f64 + jitter * 0.25;
+        }
+        plan.pos.init_range(w, 0, &pos);
+        plan.vel.init_range(w, 0, &vec![0.0; 3 * n]);
+        plan.force.init_range(w, 0, &vec![0.0; 3 * n]);
+    }
+
+    fn body(&self, sys: &dyn System, plan: &WaterPlan) -> f64 {
+        let n = self.molecules;
+        let mine = band(n, sys.nprocs(), sys.pid());
+
+        for step in 0..self.steps {
+            // Zero owned force records.
+            let zeros = vec![0.0f64; 3];
+            for m in mine.clone() {
+                plan.force.write_range(sys, 3 * m, &zeros);
+            }
+            sys.barrier(1);
+
+            // Interaction phase: each processor handles pairs (i, j) for
+            // its own i against the following n/2 molecules (wrapping), so
+            // each unordered pair is computed exactly once. Every processor
+            // therefore reads a majority of the shared positions — the
+            // paper's explanation for M-Water's residual communication.
+            let mut local: Vec<(usize, [f64; 3])> = Vec::new();
+            let mut acc: Vec<Option<usize>> = vec![None; n];
+            let mut pi = [0.0f64; 3];
+            let mut pj = [0.0f64; 3];
+            for i in mine.clone() {
+                plan.pos.read_range(sys, 3 * i, &mut pi);
+                for k in 1..=n / 2 {
+                    let j = (i + k) % n;
+                    if n.is_multiple_of(2) && k == n / 2 && i >= n / 2 {
+                        continue; // avoid double-counting opposite pairs
+                    }
+                    plan.pos.read_range(sys, 3 * j, &mut pj);
+                    let f = pair_force(&pi, &pj);
+                    sys.compute(self.cycles_per_pair);
+                    match self.mode {
+                        WaterMode::Original => {
+                            apply_force(sys, plan, i, &f);
+                            apply_force(sys, plan, j, &[-f[0], -f[1], -f[2]]);
+                        }
+                        WaterMode::Modified => {
+                            accumulate(&mut local, &mut acc, i, f);
+                            accumulate(&mut local, &mut acc, j, [-f[0], -f[1], -f[2]]);
+                        }
+                    }
+                }
+            }
+            if self.mode == WaterMode::Modified {
+                // One lock acquire per molecule this processor touched.
+                for (m, f) in &local {
+                    apply_force(sys, plan, *m, f);
+                }
+            }
+            sys.barrier(2);
+
+            // Integration: owners advance their molecules.
+            let mut f = [0.0f64; 3];
+            let mut v = [0.0f64; 3];
+            let mut p = [0.0f64; 3];
+            for m in mine.clone() {
+                plan.force.read_range(sys, 3 * m, &mut f);
+                plan.vel.read_range(sys, 3 * m, &mut v);
+                plan.pos.read_range(sys, 3 * m, &mut p);
+                for d in 0..3 {
+                    v[d] += 0.0001 * f[d];
+                }
+                for (pd, vd) in p.iter_mut().zip(v) {
+                    *pd += 0.001 * vd;
+                }
+                plan.vel.write_range(sys, 3 * m, &v);
+                plan.pos.write_range(sys, 3 * m, &p);
+                sys.compute(30);
+            }
+            sys.barrier(3);
+            if step == 0 && sys.pid() == 0 {
+                sys.mark();
+            }
+        }
+
+        // Checksum over owned positions, weighted by molecule index —
+        // momentum conservation makes the unweighted sum invariant.
+        let mut sum = 0.0;
+        let mut p = [0.0f64; 3];
+        for m in mine {
+            plan.pos.read_range(sys, 3 * m, &mut p);
+            sum += (m + 1) as f64 * (p[0] + p[1] + p[2]);
+        }
+        sum
+    }
+}
+
+/// Soft inverse-square pairwise force.
+fn pair_force(a: &[f64; 3], b: &[f64; 3]) -> [f64; 3] {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    let r2 = dx * dx + dy * dy + dz * dz + 0.1;
+    let inv = 1.0 / (r2 * r2.sqrt());
+    [dx * inv, dy * inv, dz * inv]
+}
+
+/// Adds `f` to molecule `m`'s shared force record under its lock.
+fn apply_force(sys: &dyn System, plan: &WaterPlan, m: usize, f: &[f64; 3]) {
+    let lock = MOL_LOCK_BASE + m;
+    sys.lock(lock);
+    let mut cur = [0.0f64; 3];
+    plan.force.read_range(sys, 3 * m, &mut cur);
+    for (c, fd) in cur.iter_mut().zip(f) {
+        *c += fd;
+    }
+    plan.force.write_range(sys, 3 * m, &cur);
+    sys.unlock(lock);
+}
+
+/// Accumulates `f` into the local per-molecule buffer (M-Water).
+fn accumulate(
+    local: &mut Vec<(usize, [f64; 3])>,
+    index: &mut [Option<usize>],
+    m: usize,
+    f: [f64; 3],
+) {
+    match index[m] {
+        Some(i) => {
+            for (acc, fd) in local[i].1.iter_mut().zip(f) {
+                *acc += fd;
+            }
+        }
+        None => {
+            index[m] = Some(local.len());
+            local.push((m, f));
+        }
+    }
+}
+
+/// Sequential reference run.
+pub fn reference(cfg: &Water) -> f64 {
+    use tmk_parmacs::SequentialSystem;
+    let mut sys = SequentialSystem::new(cfg.segment_bytes());
+    let mut alloc = Alloc::new(cfg.segment_bytes());
+    let plan = cfg.plan(&mut alloc);
+    cfg.init(&plan, &mut sys);
+    cfg.body(&sys, &plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_compute_identical_physics_sequentially() {
+        let a = reference(&Water::tiny(WaterMode::Original));
+        let b = reference(&Water::tiny(WaterMode::Modified));
+        // Sequential accumulation order differs, so allow float slack.
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn molecules_move() {
+        let cfg = Water::tiny(WaterMode::Modified);
+        let after = reference(&cfg);
+        let before = {
+            let mut c = cfg.clone();
+            c.steps = 0;
+            reference(&c)
+        };
+        assert_ne!(after, before, "forces displaced the molecules");
+    }
+
+    #[test]
+    fn pair_force_is_antisymmetric() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 2.0, 3.0];
+        let f = pair_force(&a, &b);
+        let g = pair_force(&b, &a);
+        for d in 0..3 {
+            assert!((f[d] + g[d]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn every_pair_counted_once() {
+        // The wrapped half-range enumeration covers each unordered pair
+        // exactly once.
+        for n in [7usize, 8, 9, 24] {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                for k in 1..=n / 2 {
+                    let j = (i + k) % n;
+                    if n.is_multiple_of(2) && k == n / 2 && i >= n / 2 {
+                        continue;
+                    }
+                    let key = (i.min(j), i.max(j));
+                    assert!(seen.insert(key), "pair {key:?} counted twice (n={n})");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks for the hardware memory-system models: cache
+//! probe/fill throughput, snooping-bus coherent access streams, and
+//! directory-protocol access streams.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use tmk_mem::{BusParams, CacheParams, DirectCache, Directory, DirectoryParams, LineState, SnoopBus};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("probe_hit_stream", |b| {
+        let mut cache = DirectCache::new(CacheParams::new(64 << 10, 32));
+        for line in 0..1024u64 {
+            cache.fill(line, LineState::Shared);
+        }
+        b.iter(|| {
+            for line in 0..1024u64 {
+                std::hint::black_box(cache.probe(line, false));
+            }
+        })
+    });
+    g.bench_function("fill_evict_stream", |b| {
+        let mut cache = DirectCache::new(CacheParams::new(64 << 10, 32));
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 4096;
+            for line in base..base + 1024 {
+                std::hint::black_box(cache.fill(line, LineState::Modified));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_snoop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snoop_bus");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("private_stream_8procs", |b| {
+        let mut bus = SnoopBus::new(8, CacheParams::new(64 << 10, 32), BusParams::sgi_4d480());
+        let mut t = 0;
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let proc = (i % 8) as usize;
+                let line = i + proc as u64 * 1_000_000;
+                t = bus.access(proc, line, false, t).done;
+            }
+        })
+    });
+    g.bench_function("shared_line_pingpong", |b| {
+        let mut bus = SnoopBus::new(2, CacheParams::new(64 << 10, 32), BusParams::sgi_4d480());
+        let mut t = 0;
+        b.iter(|| {
+            for _ in 0..512 {
+                t = bus.access(0, 42, true, t).done;
+                t = bus.access(1, 42, true, t).done;
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("remote_read_stream_16nodes", |b| {
+        let mut dir = Directory::new(
+            16,
+            CacheParams::new(64 << 10, 64),
+            DirectoryParams::isca94(),
+        );
+        let mut t = 0;
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let node = (i % 16) as usize;
+                t = dir.access(node, i, false, t).done;
+            }
+        })
+    });
+    g.bench_function("producer_consumer_dirty_handoff", |b| {
+        let mut dir = Directory::new(
+            4,
+            CacheParams::new(64 << 10, 64),
+            DirectoryParams::isca94(),
+        );
+        let mut t = 0;
+        b.iter(|| {
+            for i in 0..256u64 {
+                t = dir.access(0, i % 32, true, t).done;
+                t = dir.access(1, i % 32, false, t).done;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_snoop, bench_directory);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks for the TreadMarks protocol primitives: diff
+//! creation/application, vector-timestamp operations, interval
+//! bookkeeping, lock round trips through the synchronous router, and the
+//! real-thread runtime.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tmk_core::runtime::{Dsm, DsmConfig};
+use tmk_core::{Cluster, Config, Diff, VTime};
+
+fn page_pair(change_every: usize) -> (Vec<u8>, Vec<u8>) {
+    let twin: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let mut data = twin.clone();
+    for w in (0..4096 / 4).step_by(change_every) {
+        data[w * 4] ^= 0xff;
+    }
+    (twin, data)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    g.throughput(Throughput::Bytes(4096));
+    for (name, every) in [("sparse", 64), ("half", 2), ("dense", 1)] {
+        let (twin, data) = page_pair(every);
+        g.bench_function(format!("create_{name}"), |b| {
+            b.iter(|| Diff::compute(std::hint::black_box(&twin), std::hint::black_box(&data)))
+        });
+        let diff = Diff::compute(&twin, &data);
+        g.bench_function(format!("apply_{name}"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut page| diff.apply(&mut page),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_vtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vtime");
+    for n in [8usize, 64] {
+        let mut a = VTime::zero(n);
+        let mut b = VTime::zero(n);
+        for i in 0..n {
+            a.set(i, (i * 3) as u32);
+            b.set(i, (i * 2 + 1) as u32);
+        }
+        g.bench_function(format!("merge_{n}"), |bch| {
+            bch.iter_batched(
+                || a.clone(),
+                |mut x| x.merge(std::hint::black_box(&b)),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("le_{n}"), |bch| {
+            bch.iter(|| std::hint::black_box(&a).le(std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.bench_function("lock_unlock_remote_pingpong", |b| {
+        let mut cl = Cluster::new(Config::new(2).segment_pages(4));
+        b.iter(|| {
+            cl.lock(1, 0);
+            cl.unlock(1, 0);
+            cl.lock(0, 0);
+            cl.unlock(0, 0);
+        })
+    });
+    g.bench_function("barrier_8_nodes", |b| {
+        let mut cl = Cluster::new(Config::new(8).segment_pages(4));
+        b.iter(|| cl.barrier(0))
+    });
+    g.bench_function("invalidate_and_refetch_diff", |b| {
+        let mut cl = Cluster::new(Config::new(2).segment_pages(4));
+        cl.master_write(0, &[7u8; 64]);
+        let mut buf = [0u8; 8];
+        cl.read(1, 0, &mut buf); // node 1 caches the page
+        b.iter(|| {
+            cl.lock(0, 1);
+            cl.write_u64(0, 0, 9);
+            cl.unlock(0, 1);
+            cl.lock(1, 1);
+            cl.read(1, 0, &mut buf);
+            cl.unlock(1, 1);
+        })
+    });
+    g.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thread_runtime");
+    g.sample_size(10);
+    g.bench_function("counter_4_nodes_100_rounds", |b| {
+        b.iter(|| {
+            Dsm::run(DsmConfig::new(4).segment_pages(4), |node| {
+                for _ in 0..100 {
+                    node.lock(0);
+                    let v = node.read_u64(0);
+                    node.write_u64(0, v + 1);
+                    node.unlock(0);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_vtime,
+    bench_cluster_ops,
+    bench_runtime
+);
+criterion_main!(benches);

@@ -1,0 +1,481 @@
+//! A synchronous, single-threaded cluster: the simplest way to drive the
+//! protocol. Used by tests, by correctness oracles, and as the reference
+//! router semantics for the timed simulation in `tmk-machines`.
+
+use std::collections::VecDeque;
+
+use crate::{
+    Action, BarrierId, Config, Envelope, LockId, MsgClass, Node, NodeId, NodeStats,
+    SharedAddr, StartAcquire,
+};
+
+/// Aggregate message/byte counters, split the way the paper's Figures 12–13
+/// split them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Access-miss messages (page/diff requests and replies).
+    pub miss_msgs: u64,
+    /// Lock messages.
+    pub lock_msgs: u64,
+    /// Barrier messages.
+    pub barrier_msgs: u64,
+    /// Eager-release update messages.
+    pub update_msgs: u64,
+    /// Bytes of application data moved for misses.
+    pub miss_bytes: u64,
+    /// Bytes of consistency metadata (vector times, write notices).
+    pub consistency_bytes: u64,
+    /// Bytes of message headers.
+    pub header_bytes: u64,
+}
+
+impl Traffic {
+    /// Records one transmitted envelope.
+    pub fn record(&mut self, env: &Envelope, header_bytes: usize) {
+        match env.msg.class() {
+            MsgClass::Miss => self.miss_msgs += 1,
+            MsgClass::SyncLock => self.lock_msgs += 1,
+            MsgClass::SyncBarrier => self.barrier_msgs += 1,
+            MsgClass::Update => self.update_msgs += 1,
+        }
+        let body = env.msg.body_bytes();
+        self.miss_bytes += body.miss as u64;
+        self.consistency_bytes += body.consistency as u64;
+        self.header_bytes += header_bytes as u64;
+    }
+
+    /// All messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.miss_msgs + self.lock_msgs + self.barrier_msgs + self.update_msgs
+    }
+
+    /// Synchronization messages (locks + barriers), the paper's "sync" bar.
+    pub fn sync_msgs(&self) -> u64 {
+        self.lock_msgs + self.barrier_msgs
+    }
+
+    /// All payload and header bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.miss_bytes + self.consistency_bytes + self.header_bytes
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &Traffic) {
+        self.miss_msgs += o.miss_msgs;
+        self.lock_msgs += o.lock_msgs;
+        self.barrier_msgs += o.barrier_msgs;
+        self.update_msgs += o.update_msgs;
+        self.miss_bytes += o.miss_bytes;
+        self.consistency_bytes += o.consistency_bytes;
+        self.header_bytes += o.header_bytes;
+    }
+}
+
+/// A whole DSM cluster driven synchronously from one thread.
+///
+/// Every operation routes all induced protocol messages to quiescence before
+/// returning, so data-plane calls ([`read`](Self::read),
+/// [`write`](Self::write)) always complete. Lock contention is surfaced via
+/// [`try_lock`](Self::try_lock) (the grant is routed to the waiter
+/// automatically when the holder releases); barriers complete when the last
+/// participant calls [`arrive`](Self::arrive).
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: Config,
+    nodes: Vec<Node>,
+    traffic: Traffic,
+    alloc_next: SharedAddr,
+    /// Barrier completions observed, for callers that track them.
+    done_barriers: Vec<(NodeId, BarrierId)>,
+}
+
+impl Cluster {
+    /// Builds an `n`-node cluster from a configuration.
+    pub fn new(cfg: Config) -> Cluster {
+        let nodes = (0..cfg.nodes).map(|i| Node::new(i, cfg.clone())).collect();
+        Cluster {
+            nodes,
+            traffic: Traffic::default(),
+            alloc_next: 0,
+            done_barriers: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Message traffic so far.
+    pub fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    /// Sum of all nodes' protocol statistics.
+    pub fn stats(&self) -> NodeStats {
+        let mut s = NodeStats::default();
+        for n in &self.nodes {
+            s.merge(n.stats());
+        }
+        s
+    }
+
+    /// Bump-allocates `bytes` of shared memory with `align` alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the segment is exhausted or `align` is not a power of
+    /// two.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> SharedAddr {
+        assert!(align.is_power_of_two());
+        let addr = (self.alloc_next + align - 1) & !(align - 1);
+        assert!(
+            addr + bytes <= self.cfg.segment_bytes(),
+            "shared segment exhausted: need {} bytes at {addr}, segment is {}",
+            bytes,
+            self.cfg.segment_bytes()
+        );
+        self.alloc_next = addr + bytes;
+        addr
+    }
+
+    /// Pre-parallel initialization write by the master (node 0).
+    pub fn master_write(&mut self, addr: SharedAddr, bytes: &[u8]) {
+        self.nodes[0].master_write(addr, bytes);
+    }
+
+    /// Routes envelopes until quiescence, returning completed actions as
+    /// `(node, action)` pairs in delivery order.
+    pub fn route(&mut self, sends: Vec<Envelope>) -> Vec<(NodeId, Action)> {
+        let mut queue: VecDeque<Envelope> = sends.into();
+        let mut done = Vec::new();
+        while let Some(env) = queue.pop_front() {
+            if env.from != env.to {
+                self.traffic.record(&env, self.cfg.header_bytes);
+            }
+            let to = env.to;
+            let handled = self.nodes[to].handle(env);
+            queue.extend(handled.sends);
+            done.extend(handled.actions.into_iter().map(|a| (to, a)));
+        }
+        for &(node, action) in &done {
+            if let Action::BarrierDone(b) = action {
+                self.done_barriers.push((node, b));
+            }
+        }
+        done
+    }
+
+    /// Validates every page `len` bytes at `addr` touch, taking faults as
+    /// needed, then reads into `buf`.
+    pub fn read(&mut self, node: NodeId, addr: SharedAddr, buf: &mut [u8]) {
+        self.validate(node, addr, buf.len(), false);
+        self.nodes[node].read_into(addr, buf);
+    }
+
+    /// Validates + twins the pages `bytes` touch, then writes.
+    pub fn write(&mut self, node: NodeId, addr: SharedAddr, bytes: &[u8]) {
+        self.validate(node, addr, bytes.len(), true);
+        self.nodes[node].write_from(addr, bytes);
+    }
+
+    fn validate(&mut self, node: NodeId, addr: SharedAddr, len: usize, write: bool) {
+        for page in self.nodes[node].pages_in(addr, len) {
+            let ok = if write {
+                self.nodes[node].page_writable(page)
+            } else {
+                self.nodes[node].page_valid(page)
+            };
+            if ok {
+                continue;
+            }
+            let start = self.nodes[node].fault(page, write);
+            let ready = start.ready;
+            let done = self.route(start.sends);
+            assert!(
+                ready || done.contains(&(node, Action::PageReady(page))),
+                "fault on page {page} did not complete synchronously"
+            );
+        }
+    }
+
+    /// Acquires `lock` on `node` if it is free (or locally cached), else
+    /// enqueues and returns `false`; the node will hold the lock as soon as
+    /// the current holder releases.
+    pub fn try_lock(&mut self, node: NodeId, lock: LockId) -> bool {
+        match self.nodes[node].acquire(lock) {
+            StartAcquire::Granted => true,
+            StartAcquire::Wait(sends) => {
+                let done = self.route(sends);
+                done.contains(&(node, Action::LockGranted(lock)))
+            }
+        }
+    }
+
+    /// Acquires `lock` on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is held by another node (the synchronous cluster
+    /// cannot suspend the caller; use [`try_lock`](Self::try_lock) for
+    /// contention scenarios).
+    pub fn lock(&mut self, node: NodeId, lock: LockId) {
+        assert!(
+            self.try_lock(node, lock),
+            "lock {lock} is held; synchronous Cluster::lock would block"
+        );
+    }
+
+    /// Releases `lock` on `node`, routing any onward grant (which may
+    /// complete another node's queued [`try_lock`](Self::try_lock)).
+    pub fn unlock(&mut self, node: NodeId, lock: LockId) {
+        let sends = self.nodes[node].release(lock);
+        self.route(sends);
+    }
+
+    /// Arrives at `barrier` on `node`; returns `true` when this arrival
+    /// completed the barrier for everyone.
+    pub fn arrive(&mut self, node: NodeId, barrier: BarrierId) -> bool {
+        let start = self.nodes[node].barrier_arrive(barrier);
+        let before = self.done_barriers.len();
+        self.route(start.sends);
+        start.ready || self.done_barriers.len() > before
+    }
+
+    /// Runs a full barrier episode by arriving on every node in id order.
+    pub fn barrier(&mut self, barrier: BarrierId) {
+        let n = self.cfg.nodes;
+        let mut completed = false;
+        for node in 0..n {
+            completed |= self.arrive(node, barrier);
+        }
+        assert!(completed, "barrier {barrier} did not complete");
+    }
+
+    /// Convenience typed accessors for tests and examples.
+    pub fn read_u64(&mut self, node: NodeId, addr: SharedAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(node, addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, node: NodeId, addr: SharedAddr, v: u64) {
+        self.write(node, addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(Config::new(n).segment_pages(8).page_size(256))
+    }
+
+    #[test]
+    fn master_init_visible_everywhere() {
+        let mut c = cluster(4);
+        let addr = c.alloc(8, 8);
+        c.master_write(addr, &7u64.to_le_bytes());
+        for node in 0..4 {
+            assert_eq!(c.read_u64(node, addr), 7);
+        }
+    }
+
+    #[test]
+    fn lock_protected_counter_is_coherent() {
+        let mut c = cluster(3);
+        let addr = c.alloc(8, 8);
+        for round in 0..5 {
+            for node in 0..3 {
+                c.lock(node, 1);
+                let v = c.read_u64(node, addr);
+                c.write_u64(node, addr, v + 1);
+                c.unlock(node, 1);
+                let _ = round;
+            }
+        }
+        c.lock(0, 1);
+        assert_eq!(c.read_u64(0, addr), 15);
+        c.unlock(0, 1);
+    }
+
+    #[test]
+    fn reacquire_by_same_node_is_local() {
+        let mut c = cluster(2);
+        c.lock(1, 0);
+        c.unlock(1, 0);
+        let before = c.node(1).stats().local_lock_acquires;
+        c.lock(1, 0);
+        c.unlock(1, 0);
+        assert_eq!(c.node(1).stats().local_lock_acquires, before + 1);
+    }
+
+    #[test]
+    fn contended_lock_transfers_on_release() {
+        let mut c = cluster(2);
+        let addr = c.alloc(8, 8);
+        c.lock(0, 0);
+        c.write_u64(0, addr, 42);
+        assert!(!c.try_lock(1, 0), "lock is held by node 0");
+        c.unlock(0, 0); // grant routes to node 1, which now holds the lock
+        assert_eq!(c.read_u64(1, addr), 42, "acquire made the write visible");
+        c.unlock(1, 0);
+    }
+
+    #[test]
+    fn barrier_propagates_writes() {
+        let mut c = cluster(4);
+        let addr = c.alloc(4 * 8, 8);
+        // Each node writes its slot, then a barrier, then everyone reads all.
+        for node in 0..4 {
+            c.write_u64(node, addr + node * 8, (node as u64 + 1) * 100);
+        }
+        c.barrier(0);
+        for node in 0..4 {
+            for slot in 0..4 {
+                assert_eq!(c.read_u64(node, addr + slot * 8), (slot as u64 + 1) * 100);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_writers_of_one_page_merge() {
+        let mut c = cluster(4);
+        // All four slots share a 256-byte page: classic false sharing.
+        let addr = c.alloc(4 * 8, 8);
+        assert_eq!(c.node(0).pages_in(addr, 32).len(), 1);
+        for node in 0..4 {
+            c.write_u64(node, addr + node * 8, node as u64 + 1);
+        }
+        c.barrier(0);
+        for node in 0..4 {
+            for slot in 0..4u64 {
+                assert_eq!(c.read_u64(node, addr + slot as usize * 8), slot + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unsynchronized_read_may_be_stale_until_acquire() {
+        let mut c = cluster(2);
+        let addr = c.alloc(8, 8);
+        c.master_write(addr, &1u64.to_le_bytes());
+        assert_eq!(c.read_u64(1, addr), 1); // node 1 caches the page
+        c.lock(0, 3);
+        c.write_u64(0, addr, 2);
+        c.unlock(0, 3);
+        // LRC: no acquire on node 1, so the stale value is still legal.
+        assert_eq!(c.read_u64(1, addr), 1);
+        c.lock(1, 3);
+        assert_eq!(c.read_u64(1, addr), 2, "acquire brings the new value");
+        c.unlock(1, 3);
+    }
+
+    #[test]
+    fn eager_release_pushes_updates_without_acquire() {
+        let cfg = Config::new(2)
+            .segment_pages(8)
+            .page_size(256)
+            .eager_release_lock(3);
+        let mut c = Cluster::new(cfg);
+        let addr = c.alloc(8, 8);
+        c.master_write(addr, &1u64.to_le_bytes());
+        assert_eq!(c.read_u64(1, addr), 1);
+        c.lock(0, 3);
+        c.write_u64(0, addr, 2);
+        c.unlock(0, 3); // broadcast applies the diff at node 1
+        assert_eq!(c.read_u64(1, addr), 2, "update arrived without an acquire");
+    }
+
+    #[test]
+    fn diffs_move_only_changed_words() {
+        let mut c = cluster(2);
+        let addr = c.alloc(256, 256); // one whole page
+        c.master_write(addr, &[0xAA; 256]);
+        assert_eq!(c.read_u64(1, addr), u64::from_le_bytes([0xAA; 8]));
+        let full_fetch_bytes = c.traffic().miss_bytes;
+        assert!(full_fetch_bytes >= 256, "first fetch moves the whole page");
+        // Node 0 changes a single word; node 1 re-validates via a diff.
+        c.lock(0, 0);
+        c.write(0, addr, &[0x55; 4]);
+        c.unlock(0, 0);
+        c.lock(1, 0);
+        let mut b = [0u8; 4];
+        c.read(1, addr, &mut b);
+        c.unlock(1, 0);
+        assert_eq!(b, [0x55; 4]);
+        let diff_bytes = c.traffic().miss_bytes - full_fetch_bytes;
+        assert!(
+            diff_bytes < 64,
+            "revalidation moved {diff_bytes} bytes; expected a tiny diff"
+        );
+    }
+
+    #[test]
+    fn lock_chain_through_three_nodes() {
+        let mut c = cluster(3);
+        let addr = c.alloc(8, 8);
+        c.lock(1, 5);
+        c.write_u64(1, addr, 10);
+        assert!(!c.try_lock(2, 5));
+        assert!(!c.try_lock(0, 5));
+        c.unlock(1, 5); // token flows to node 2, then node 0 on its release
+        assert_eq!(c.read_u64(2, addr), 10);
+        c.write_u64(2, addr, 20);
+        c.unlock(2, 5);
+        assert_eq!(c.read_u64(0, addr), 20);
+        c.unlock(0, 5);
+    }
+
+    #[test]
+    fn traffic_accounting_is_nonzero_and_classified() {
+        let mut c = cluster(2);
+        let addr = c.alloc(8, 8);
+        c.lock(1, 0);
+        c.write_u64(1, addr, 3);
+        c.unlock(1, 0);
+        c.barrier(0);
+        assert_eq!(c.read_u64(0, addr), 3);
+        let t = c.traffic();
+        assert!(t.lock_msgs >= 2, "remote acquire needs request + grant");
+        assert!(t.barrier_msgs >= 2, "arrive + depart");
+        assert!(t.miss_msgs >= 2, "page request + reply");
+        assert!(t.header_bytes > 0);
+        assert_eq!(
+            t.total_msgs(),
+            t.miss_msgs + t.lock_msgs + t.barrier_msgs + t.update_msgs
+        );
+    }
+
+    #[test]
+    fn single_node_cluster_needs_no_messages() {
+        let mut c = cluster(1);
+        let addr = c.alloc(8, 8);
+        c.lock(0, 0);
+        c.write_u64(0, addr, 9);
+        c.unlock(0, 0);
+        c.barrier(0);
+        assert_eq!(c.read_u64(0, addr), 9);
+        assert_eq!(c.traffic().total_msgs(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_page_boundary() {
+        let mut c = cluster(2);
+        let addr = c.alloc(512, 256); // spans two 256-byte pages
+        let data: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        c.write(0, addr, &data);
+        c.barrier(0);
+        let mut back = vec![0u8; 512];
+        c.read(1, addr, &mut back);
+        assert_eq!(back, data);
+    }
+}

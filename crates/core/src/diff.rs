@@ -1,0 +1,178 @@
+//! Run-length encoded page diffs.
+//!
+//! A diff records the words of a page that changed relative to its twin.
+//! TreadMarks transmits diffs rather than whole pages, which both supports
+//! multiple concurrent writers (each writer's diff covers only its own
+//! words) and cuts data movement when only part of a page changes — the
+//! effect behind the paper's SOR result, where TreadMarks moves far less
+//! data than the bus-based machine because unchanged interior points never
+//! leave their node.
+
+use crate::WORD;
+
+/// One contiguous run of modified bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Run {
+    /// Byte offset within the page (word-aligned).
+    offset: u32,
+    /// Replacement bytes (length a multiple of [`WORD`]).
+    bytes: Vec<u8>,
+}
+
+/// A run-length encoding of the changes made to a single page.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<Run>,
+}
+
+impl Diff {
+    /// Computes the word-granular diff turning `twin` into `current`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ in length or are not whole words.
+    pub fn compute(twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/page length mismatch");
+        assert_eq!(twin.len() % WORD, 0, "page must be whole words");
+        let words = twin.len() / WORD;
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < words {
+            let at = w * WORD;
+            if twin[at..at + WORD] != current[at..at + WORD] {
+                let start = w;
+                while w < words && {
+                    let a = w * WORD;
+                    twin[a..a + WORD] != current[a..a + WORD]
+                } {
+                    w += 1;
+                }
+                runs.push(Run {
+                    offset: (start * WORD) as u32,
+                    bytes: current[start * WORD..w * WORD].to_vec(),
+                });
+            } else {
+                w += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Applies the diff to a page buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run falls outside the buffer.
+    pub fn apply(&self, page: &mut [u8]) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            page[start..start + run.bytes.len()].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True when no words changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of modified bytes carried.
+    pub fn data_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Wire size: per-run (offset, length) headers plus the data itself,
+    /// plus a run count.
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.runs.len() * 8 + self.data_bytes()
+    }
+
+    /// Does any run of `self` overlap any run of `other` (a write-write
+    /// race between concurrent intervals)?
+    pub fn overlaps(&self, other: &Diff) -> bool {
+        // Runs are sorted by offset by construction; merge-scan.
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let a = &self.runs[i];
+            let b = &other.runs[j];
+            let a_end = a.offset as usize + a.bytes.len();
+            let b_end = b.offset as usize + b.bytes.len();
+            if a_end <= b.offset as usize {
+                i += 1;
+            } else if b_end <= a.offset as usize {
+                j += 1;
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(words: &[u32]) -> Vec<u8> {
+        words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn identical_pages_empty_diff() {
+        let a = page(&[1, 2, 3, 4]);
+        let d = Diff::compute(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.data_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = page(&[1, 2, 3, 4]);
+        let cur = page(&[1, 9, 3, 4]);
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.data_bytes(), WORD);
+        let mut buf = twin.clone();
+        d.apply(&mut buf);
+        assert_eq!(buf, cur);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_one_run() {
+        let twin = page(&[0; 8]);
+        let cur = page(&[0, 5, 6, 7, 0, 0, 9, 0]);
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.run_count(), 2);
+        let mut buf = twin.clone();
+        d.apply(&mut buf);
+        assert_eq!(buf, cur);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let base = page(&[0; 8]);
+        let mut a = base.clone();
+        a[4..8].copy_from_slice(&7u32.to_le_bytes());
+        let mut b = base.clone();
+        b[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let mut c = base.clone();
+        c[12..16].copy_from_slice(&3u32.to_le_bytes());
+        let da = Diff::compute(&base, &a);
+        let db = Diff::compute(&base, &b);
+        let dc = Diff::compute(&base, &c);
+        assert!(da.overlaps(&db));
+        assert!(!da.overlaps(&dc));
+    }
+
+    #[test]
+    fn wire_size_accounts_headers() {
+        let twin = page(&[0; 4]);
+        let cur = page(&[1, 0, 1, 0]);
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.wire_bytes(), 4 + 2 * 8 + 2 * WORD);
+    }
+}

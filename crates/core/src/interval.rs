@@ -1,0 +1,211 @@
+//! Interval records: the units of the happened-before-1 partial order.
+//!
+//! A node's execution is divided into *intervals*, delimited by releases
+//! (lock releases and barrier arrivals). Each interval carries the set of
+//! pages the node dirtied during it — the *write notices* — plus the vector
+//! time at which it closed. A node's interval store holds every interval it
+//! has learned about, from any node.
+
+use crate::{NodeId, PageId, Seq, VTime};
+
+/// An interval as transmitted on the wire (inside lock grants and barrier
+/// messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalMsg {
+    /// The node that executed the interval.
+    pub node: NodeId,
+    /// Its 1-based sequence number within that node.
+    pub seq: Seq,
+    /// The creator's vector time when the interval closed (with
+    /// `vt.get(node) == seq`).
+    pub vt: VTime,
+    /// Pages dirtied during the interval (the write notices).
+    pub pages: Vec<PageId>,
+}
+
+impl IntervalMsg {
+    /// Wire size: ids + vector time + run-length-encoded write notices
+    /// (consecutive page numbers collapse to `(start, len)` pairs, the
+    /// natural encoding for band-partitioned applications like SOR).
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.vt.wire_bytes() + 8 * self.notice_runs()
+    }
+
+    /// Number of maximal runs of consecutive page ids.
+    pub fn notice_runs(&self) -> usize {
+        let mut sorted: Vec<PageId> = self.pages.clone();
+        sorted.sort_unstable();
+        let mut runs = 0;
+        let mut prev: Option<PageId> = None;
+        for &p in &sorted {
+            if prev != Some(p.wrapping_sub(1)) {
+                runs += 1;
+            }
+            prev = Some(p);
+        }
+        runs
+    }
+}
+
+/// One node's record of a (possibly remote) interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRec {
+    /// Closing vector time.
+    pub vt: VTime,
+    /// Pages dirtied.
+    pub pages: Vec<PageId>,
+}
+
+/// All intervals a node knows about, indexed by `(creator, seq)`.
+///
+/// Per creator, intervals are stored densely: position `i` holds sequence
+/// number `i + 1`. Lazy release consistency guarantees intervals are learned
+/// contiguously (a grant or barrier departure carries exactly the gap
+/// between two vector times), which [`insert`](Self::insert) asserts.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalStore {
+    by_node: Vec<Vec<IntervalRec>>,
+}
+
+impl IntervalStore {
+    /// An empty store for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        IntervalStore {
+            by_node: vec![Vec::new(); n],
+        }
+    }
+
+    /// Highest sequence number known for `node` (0 when none).
+    pub fn frontier(&self, node: NodeId) -> Seq {
+        self.by_node[node].len() as Seq
+    }
+
+    /// Looks up interval `(node, seq)`.
+    pub fn get(&self, node: NodeId, seq: Seq) -> Option<&IntervalRec> {
+        debug_assert!(seq >= 1);
+        self.by_node[node].get(seq as usize - 1)
+    }
+
+    /// Records an interval learned from the wire (idempotent: re-delivery of
+    /// a known interval is ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval would leave a gap in its creator's sequence —
+    /// that indicates a protocol bug, since LRC transmits interval ranges
+    /// contiguously.
+    pub fn insert(&mut self, msg: &IntervalMsg) {
+        let have = self.frontier(msg.node);
+        if msg.seq <= have {
+            return; // already known
+        }
+        assert_eq!(
+            msg.seq,
+            have + 1,
+            "interval gap for node {}: have {}, got {}",
+            msg.node,
+            have,
+            msg.seq
+        );
+        self.by_node[msg.node].push(IntervalRec {
+            vt: msg.vt.clone(),
+            pages: msg.pages.clone(),
+        });
+    }
+
+    /// Records an interval this node itself just closed.
+    pub fn record_own(&mut self, node: NodeId, seq: Seq, vt: VTime, pages: Vec<PageId>) {
+        assert_eq!(seq, self.frontier(node) + 1, "own interval out of order");
+        self.by_node[node].push(IntervalRec { vt, pages });
+    }
+
+    /// All intervals covered by `upto` but not by `from`, as wire messages —
+    /// exactly what a lock grant or barrier departure must carry.
+    pub fn between(&self, from: &VTime, upto: &VTime) -> Vec<IntervalMsg> {
+        let mut out = Vec::new();
+        for q in 0..self.by_node.len() {
+            let lo = from.get(q);
+            let hi = upto.get(q).min(self.frontier(q));
+            for seq in (lo + 1)..=hi {
+                let rec = &self.by_node[q][seq as usize - 1];
+                out.push(IntervalMsg {
+                    node: q,
+                    seq,
+                    vt: rec.vt.clone(),
+                    pages: rec.pages.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Total number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.by_node.iter().map(Vec::len).sum()
+    }
+
+    /// True when no intervals are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(node: NodeId, seq: Seq, n: usize, pages: &[PageId]) -> IntervalMsg {
+        let mut vt = VTime::zero(n);
+        vt.set(node, seq);
+        IntervalMsg {
+            node,
+            seq,
+            vt,
+            pages: pages.to_vec(),
+        }
+    }
+
+    #[test]
+    fn insert_contiguous_and_idempotent() {
+        let mut s = IntervalStore::new(2);
+        s.insert(&msg(1, 1, 2, &[3]));
+        s.insert(&msg(1, 2, 2, &[4, 5]));
+        s.insert(&msg(1, 1, 2, &[3])); // duplicate, ignored
+        assert_eq!(s.frontier(1), 2);
+        assert_eq!(s.get(1, 2).unwrap().pages, vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval gap")]
+    fn insert_gap_panics() {
+        let mut s = IntervalStore::new(2);
+        s.insert(&msg(1, 2, 2, &[]));
+    }
+
+    #[test]
+    fn between_returns_exactly_the_gap() {
+        let mut s = IntervalStore::new(2);
+        s.insert(&msg(0, 1, 2, &[1]));
+        s.insert(&msg(0, 2, 2, &[2]));
+        s.insert(&msg(1, 1, 2, &[9]));
+        let mut from = VTime::zero(2);
+        from.set(0, 1);
+        let mut upto = VTime::zero(2);
+        upto.set(0, 2);
+        upto.set(1, 1);
+        let got = s.between(&from, &upto);
+        let keys: Vec<_> = got.iter().map(|m| (m.node, m.seq)).collect();
+        assert_eq!(keys, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn wire_bytes_run_length_encodes_notices() {
+        // 1,2,3 is one run; 1,3,5 is three.
+        let m = msg(0, 1, 4, &[1, 2, 3]);
+        assert_eq!(m.wire_bytes(), 8 + 16 + 8);
+        let m = msg(0, 1, 4, &[1, 3, 5]);
+        assert_eq!(m.wire_bytes(), 8 + 16 + 24);
+        let m = msg(0, 1, 4, &[]);
+        assert_eq!(m.wire_bytes(), 8 + 16);
+    }
+}

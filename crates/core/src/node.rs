@@ -1,0 +1,1026 @@
+//! The TreadMarks protocol state machine (one instance per node).
+//!
+//! `Node` is sans-io: operations return [`Envelope`]s to transmit, and
+//! [`Node::handle`] consumes a delivered envelope, returning further
+//! envelopes plus [`Action`]s for completed operations. The caller supplies
+//! transport and timing (see [`crate::Cluster`], [`crate::runtime`], and the
+//! machine models in `tmk-machines`).
+
+use std::collections::HashMap;
+
+use crate::interval::IntervalMsg;
+use crate::page::{FetchState, PageMeta};
+use crate::{
+    Action, BarrierId, Config, Diff, Envelope, IntervalStore, LockId, Msg, NodeId, NodeStats,
+    PageId, ReleaseMode, Seq, SharedAddr, VTime,
+};
+
+/// The node that provides the initial (base) copy of every page: the master
+/// that ran the sequential initialization phase.
+pub const ORIGIN: NodeId = 0;
+
+/// Result of starting a lock acquire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartAcquire {
+    /// The token was already here and free: acquired without communication.
+    Granted,
+    /// Messages must be sent; the acquire completes when a
+    /// [`Action::LockGranted`] is produced by a later [`Node::handle`].
+    Wait(Vec<Envelope>),
+}
+
+/// Result of starting a page fault or barrier episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultStart {
+    /// The operation completed immediately (no replies needed).
+    pub ready: bool,
+    /// Messages to transmit.
+    pub sends: Vec<Envelope>,
+}
+
+/// Result of delivering a message to a node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Handled {
+    /// Messages to transmit in response.
+    pub sends: Vec<Envelope>,
+    /// Operations on *this* node that completed.
+    pub actions: Vec<Action>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LockView {
+    have_token: bool,
+    held: bool,
+    /// Requester (and its vector time) promised the token at our release.
+    next: Option<(NodeId, VTime)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BarrierState {
+    /// Arrivals recorded at the manager: `(node, arrival vt)`.
+    arrivals: Vec<(NodeId, VTime)>,
+}
+
+/// One node's complete protocol state.
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    cfg: Config,
+    vt: VTime,
+    store: IntervalStore,
+    pages: Vec<PageMeta>,
+    /// Pages with twins in the currently open interval.
+    dirty: Vec<PageId>,
+    locks: HashMap<LockId, LockView>,
+    /// Manager-side distributed queue tails: last requester per lock.
+    mgr_last: HashMap<LockId, NodeId>,
+    barriers: HashMap<BarrierId, BarrierState>,
+    /// Own interval sequence already reported to barrier managers.
+    last_reported: Seq,
+    stats: NodeStats,
+}
+
+/// Orders fetched diffs by the happened-before-1 partial order of their
+/// creating intervals — same-creator diffs by sequence (program order),
+/// cross-creator by the vector times carried with the diffs, concurrent
+/// ones deterministically by `(node, seq)` — so overlapping writes resolve
+/// causally on every node.
+///
+/// Within one creator the input is already seq-ascending, so only the
+/// per-creator *heads* can be minimal: selection is O(k · nodes) vector
+/// comparisons instead of O(k²).
+fn causal_sort(diffs: &mut Vec<(NodeId, Seq, VTime, Diff)>) {
+    if diffs.len() <= 1 {
+        return;
+    }
+    // Split into per-creator queues, each kept seq-ascending.
+    let mut by_node: Vec<(NodeId, std::collections::VecDeque<(Seq, VTime, Diff)>)> = Vec::new();
+    for (n, s, vt, d) in diffs.drain(..) {
+        match by_node.iter_mut().find(|(q, _)| *q == n) {
+            Some((_, v)) => v.push_back((s, vt, d)),
+            None => {
+                let mut v = std::collections::VecDeque::new();
+                v.push_back((s, vt, d));
+                by_node.push((n, v));
+            }
+        }
+    }
+    for (_, v) in &mut by_node {
+        v.make_contiguous().sort_by_key(|(s, _, _)| *s);
+    }
+    by_node.sort_by_key(|(n, _)| *n);
+
+    let mut out: Vec<(NodeId, Seq, VTime, Diff)> = Vec::new();
+    loop {
+        // Among the heads, pick the smallest (node, seq) not
+        // happened-after any other head.
+        let mut pick: Option<usize> = None;
+        for i in 0..by_node.len() {
+            let Some((_, vi, _)) = by_node[i].1.front() else {
+                continue;
+            };
+            let minimal = by_node.iter().enumerate().all(|(j, (_, q))| {
+                if i == j {
+                    return true;
+                }
+                q.front().is_none_or(|(_, vj, _)| !vj.lt(vi))
+            });
+            if minimal {
+                pick = Some(i);
+                break; // by_node is node-sorted: first minimal = smallest id
+            }
+        }
+        let Some(i) = pick else { break };
+        let node = by_node[i].0;
+        let (s, vt, d) = by_node[i].1.pop_front().expect("head exists");
+        out.push((node, s, vt, d));
+    }
+    debug_assert!(by_node.iter().all(|(_, q)| q.is_empty()));
+    *diffs = out;
+}
+
+impl Node {
+    /// Creates the protocol instance for node `id` of a cluster described by
+    /// `cfg`.
+    pub fn new(id: NodeId, cfg: Config) -> Node {
+        assert!(id < cfg.nodes);
+        let n = cfg.nodes;
+        let pages = (0..cfg.segment_pages).map(|_| PageMeta::new(n)).collect();
+        Node {
+            id,
+            vt: VTime::zero(n),
+            store: IntervalStore::new(n),
+            pages,
+            dirty: Vec::new(),
+            locks: HashMap::new(),
+            mgr_last: HashMap::new(),
+            barriers: HashMap::new(),
+            last_reported: 0,
+            stats: NodeStats::default(),
+            cfg,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Current vector time.
+    pub fn vt(&self) -> &VTime {
+        &self.vt
+    }
+
+    /// Protocol statistics accumulated so far.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Whether this node currently holds `lock`.
+    pub fn holds(&self, lock: LockId) -> bool {
+        self.locks.get(&lock).is_some_and(|v| v.held)
+    }
+
+    /// Whether a fault on `page` is still waiting for replies.
+    pub fn page_fetch_in_progress(&self, page: PageId) -> bool {
+        self.pages[page].fetch.is_some()
+    }
+
+    /// A one-line diagnostic summary of a page's protocol state
+    /// (valid/twin/dirty flags, applied versions, pending notices,
+    /// materialized diff sequences, undiffed intervals).
+    pub fn page_debug(&self, page: PageId) -> String {
+        let p = &self.pages[page];
+        format!(
+            "valid={} data={} twin={} open_dirty={} applied={:?} pending={:?} diffs={:?} undiffed={:?}",
+            p.is_valid(),
+            p.data.is_some(),
+            p.twin.is_some(),
+            p.open_dirty,
+            p.applied,
+            p.pending,
+            p.my_diffs
+                .iter()
+                .map(|(s, d)| (*s, d.data_bytes()))
+                .collect::<Vec<_>>(),
+            p.undiffed,
+        )
+    }
+
+    fn lock_view(&mut self, lock: LockId) -> &mut LockView {
+        let is_mgr = self.cfg.lock_manager(lock) == self.id;
+        self.locks.entry(lock).or_insert_with(|| LockView {
+            have_token: is_mgr, // tokens start at their managers
+            held: false,
+            next: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Is the local copy of `page` valid (readable)?
+    pub fn page_valid(&self, page: PageId) -> bool {
+        self.pages[page].is_valid()
+    }
+
+    /// Is `page` writable without a fault?
+    ///
+    /// TreadMarks write-protects dirty pages when an interval closes, so
+    /// the first write of each interval faults (to note the page in the new
+    /// interval); a single-node cluster skips all of that.
+    pub fn page_writable(&self, page: PageId) -> bool {
+        let p = &self.pages[page];
+        p.is_valid() && (p.open_dirty || self.cfg.nodes == 1)
+    }
+
+    /// The pages overlapped by `len` bytes at `addr`.
+    pub fn pages_in(&self, addr: SharedAddr, len: usize) -> std::ops::Range<PageId> {
+        let ps = self.cfg.page_size;
+        let first = addr / ps;
+        let last = if len == 0 { first } else { (addr + len - 1) / ps };
+        first..last + 1
+    }
+
+    /// Pre-parallel initialization write by the master (node 0). Does not
+    /// twin or diff: the data becomes part of every page's base copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a node other than 0 or after intervals exist.
+    pub fn master_write(&mut self, addr: SharedAddr, bytes: &[u8]) {
+        assert_eq!(self.id, ORIGIN, "master_write is only valid on node 0");
+        assert!(
+            self.store.is_empty(),
+            "master_write is only valid before the parallel phase"
+        );
+        let ps = self.cfg.page_size;
+        let mut off = 0;
+        while off < bytes.len() {
+            let a = addr + off;
+            let page = a / ps;
+            let in_page = a % ps;
+            let chunk = (ps - in_page).min(bytes.len() - off);
+            let data = self.origin_page_data(page);
+            data[in_page..in_page + chunk].copy_from_slice(&bytes[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    fn origin_page_data(&mut self, page: PageId) -> &mut [u8] {
+        debug_assert_eq!(self.id, ORIGIN);
+        let ps = self.cfg.page_size;
+        self.pages[page]
+            .data
+            .get_or_insert_with(|| vec![0u8; ps].into_boxed_slice())
+    }
+
+    /// Reads shared memory into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched page is invalid — callers must
+    /// [`fault`](Self::fault) first.
+    pub fn read_into(&self, addr: SharedAddr, buf: &mut [u8]) {
+        let ps = self.cfg.page_size;
+        let mut off = 0;
+        while off < buf.len() {
+            let a = addr + off;
+            let page = a / ps;
+            let in_page = a % ps;
+            let chunk = (ps - in_page).min(buf.len() - off);
+            let p = &self.pages[page];
+            assert!(p.is_valid(), "read of invalid page {page} on node {}", self.id);
+            let data = p.data.as_ref().expect("valid page has data");
+            buf[off..off + chunk].copy_from_slice(&data[in_page..in_page + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Writes `bytes` to shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched page is not writable — callers must
+    /// [`fault`](Self::fault) with `write = true` first.
+    pub fn write_from(&mut self, addr: SharedAddr, bytes: &[u8]) {
+        let ps = self.cfg.page_size;
+        let mut off = 0;
+        while off < bytes.len() {
+            let a = addr + off;
+            let page = a / ps;
+            let in_page = a % ps;
+            let chunk = (ps - in_page).min(bytes.len() - off);
+            let id = self.id;
+            let p = &mut self.pages[page];
+            assert!(
+                p.is_valid() && (p.open_dirty || self.cfg.nodes == 1),
+                "write to non-writable page {page} on node {id}"
+            );
+            let data = p.data.as_mut().expect("valid page has data");
+            data[in_page..in_page + chunk].copy_from_slice(&bytes[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Faults
+    // ------------------------------------------------------------------
+
+    /// Begins resolving an access fault on `page`.
+    ///
+    /// Returns immediately-ready when the page can be validated locally
+    /// (e.g. only a twin was needed); otherwise the returned envelopes must
+    /// be delivered and the fault completes when a [`Action::PageReady`]
+    /// is produced.
+    pub fn fault(&mut self, page: PageId, write: bool) -> FaultStart {
+        if write {
+            self.stats.write_faults += 1;
+        } else {
+            self.stats.read_faults += 1;
+        }
+        // Origin can always materialize a never-touched page locally.
+        if self.id == ORIGIN && self.pages[page].data.is_none() {
+            self.origin_page_data(page);
+        }
+        if self.pages[page].is_valid() {
+            if write {
+                self.begin_write(page);
+            }
+            return FaultStart {
+                ready: true,
+                sends: Vec::new(),
+            };
+        }
+        assert!(
+            self.pages[page].fetch.is_none(),
+            "concurrent faults on page {page}"
+        );
+        let fetch = FetchState {
+            outstanding: 0,
+            base: None,
+            diffs: Vec::new(),
+            want_write: write,
+        };
+        self.pages[page].fetch = Some(fetch);
+        let sends = self.issue_fetch_requests(page);
+        debug_assert!(!sends.is_empty(), "invalid page must need something");
+        FaultStart {
+            ready: false,
+            sends,
+        }
+    }
+
+    /// Builds the request set for the current pending state of `page`.
+    fn issue_fetch_requests(&mut self, page: PageId) -> Vec<Envelope> {
+        let mut sends = Vec::new();
+        let me = self.id;
+        let p = &self.pages[page];
+        let need_base = p.data.is_none();
+        let mut reqs: Vec<(NodeId, Seq, Seq)> = Vec::new();
+        for q in 0..self.cfg.nodes {
+            if let Some(&last) = p.pending[q].last() {
+                reqs.push((q, p.applied[q], last));
+            }
+        }
+        if need_base {
+            sends.push(Envelope {
+                from: me,
+                to: ORIGIN,
+                msg: Msg::PageReq { page },
+            });
+            self.stats.full_page_fetches += 1;
+        }
+        for (q, from, to) in reqs {
+            debug_assert_ne!(q, me, "own writes are always applied");
+            sends.push(Envelope {
+                from: me,
+                to: q,
+                msg: Msg::DiffReq { page, from, to },
+            });
+            self.stats.diff_requests += 1;
+        }
+        let fetch = self.pages[page].fetch.as_mut().expect("fetch in progress");
+        fetch.outstanding += sends.len();
+        sends
+    }
+
+    /// Notes the first write of the open interval to `page`: twins it if no
+    /// twin is live (lazy diffing keeps twins across interval closes, so a
+    /// page usually re-enters the dirty set without a new copy).
+    fn begin_write(&mut self, page: PageId) {
+        if self.cfg.nodes == 1 {
+            return; // no other node can ever need a diff
+        }
+        let p = &mut self.pages[page];
+        if p.open_dirty {
+            return;
+        }
+        p.open_dirty = true;
+        self.dirty.push(page);
+        if p.twin.is_none() {
+            let data = p.data.as_ref().expect("twin of page with data");
+            p.twin = Some(data.clone());
+            self.stats.twins_created += 1;
+        }
+    }
+
+    /// Attempts to finish an outstanding fetch once all replies arrived.
+    fn try_complete_fetch(&mut self, page: PageId) -> Handled {
+        let mut out = Handled::default();
+        let fetch = self.pages[page].fetch.as_mut().expect("fetch in progress");
+        if fetch.outstanding > 0 {
+            return out;
+        }
+        let want_write = fetch.want_write;
+        let base = fetch.base.take();
+        let mut diffs = std::mem::take(&mut fetch.diffs);
+
+        if let Some((bytes, version)) = base {
+            let p = &mut self.pages[page];
+            debug_assert!(p.data.is_none());
+            p.data = Some(bytes.into_boxed_slice());
+            for (q, &seq) in version.iter().enumerate() {
+                p.mark_applied(q, seq);
+            }
+        }
+        causal_sort(&mut diffs);
+        for (q, seq, _vt, diff) in diffs {
+            let p = &mut self.pages[page];
+            if seq <= p.applied[q] {
+                continue; // subsumed by the base copy
+            }
+            let data = p.data.as_mut().expect("base present before diffs");
+            diff.apply(data);
+            if let Some(twin) = p.twin.as_mut() {
+                diff.apply(twin);
+            }
+            p.mark_applied(q, seq);
+            self.stats.diffs_applied += 1;
+        }
+
+        if self.pages[page].is_valid() {
+            self.pages[page].fetch = None;
+            if want_write {
+                self.begin_write(page);
+            }
+            out.actions.push(Action::PageReady(page));
+        } else {
+            // New write notices arrived while we were fetching; go again.
+            out.sends = self.issue_fetch_requests(page);
+        }
+        out
+    }
+
+
+    // ------------------------------------------------------------------
+    // Intervals
+    // ------------------------------------------------------------------
+
+    /// Closes the current interval if any pages are dirty: creates diffs,
+    /// drops twins, records the interval, bumps the vector time.
+    fn close_interval(&mut self) -> Option<IntervalMsg> {
+        if self.dirty.is_empty() {
+            return None;
+        }
+        let seq = self.vt.get(self.id) + 1;
+        self.vt.set(self.id, seq);
+        let pages = std::mem::take(&mut self.dirty);
+        for &page in &pages {
+            // Lazy diff creation: keep the twin; the diff is materialized
+            // at the first remote request (or never, for pages nobody
+            // reads — the common case for a partitioned interior).
+            let p = &mut self.pages[page];
+            debug_assert!(p.open_dirty && p.twin.is_some());
+            p.open_dirty = false;
+            p.undiffed.push(seq);
+            p.mark_applied(self.id, seq);
+        }
+        self.stats.intervals_closed += 1;
+        self.store
+            .record_own(self.id, seq, self.vt.clone(), pages.clone());
+        Some(IntervalMsg {
+            node: self.id,
+            seq,
+            vt: self.vt.clone(),
+            pages,
+        })
+    }
+
+    /// Inserts a received interval, registering its write notices.
+    fn integrate_interval(&mut self, msg: &IntervalMsg) {
+        if msg.node == self.id || msg.seq <= self.store.frontier(msg.node) {
+            return; // own or already known
+        }
+        self.store.insert(msg);
+        for &page in &msg.pages {
+            self.pages[page].add_notice(msg.node, msg.seq);
+            self.stats.notices_received += 1;
+        }
+    }
+
+    /// Merges the vector times of received intervals into our own.
+    fn merge_vt_from(&mut self, intervals: &[IntervalMsg]) {
+        for m in intervals {
+            self.vt.merge(&m.vt);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Locks
+    // ------------------------------------------------------------------
+
+    /// Begins acquiring `lock`.
+    pub fn acquire(&mut self, lock: LockId) -> StartAcquire {
+        let me = self.id;
+        let view = self.lock_view(lock);
+        assert!(!view.held, "recursive lock acquire of lock {lock}");
+        if view.have_token && view.next.is_none() {
+            view.held = true;
+            self.stats.local_lock_acquires += 1;
+            return StartAcquire::Granted;
+        }
+        self.stats.remote_lock_acquires += 1;
+        let mgr = self.cfg.lock_manager(lock);
+        StartAcquire::Wait(vec![Envelope {
+            from: me,
+            to: mgr,
+            msg: Msg::LockReq {
+                lock,
+                requester: me,
+                vt: self.vt.clone(),
+            },
+        }])
+    }
+
+    /// Releases `lock`, possibly granting it onward and (in eager mode)
+    /// broadcasting the closed interval's diffs.
+    pub fn release(&mut self, lock: LockId) -> Vec<Envelope> {
+        self.stats.lock_releases += 1;
+        let view = self.locks.get_mut(&lock).expect("release of unheld lock");
+        assert!(view.held, "release of unheld lock {lock}");
+        view.held = false;
+        let next = view.next.take();
+
+        let mut sends = Vec::new();
+        if self.cfg.release_mode(lock) == ReleaseMode::Eager {
+            sends.extend(self.eager_broadcast());
+        }
+        if let Some((req, req_vt)) = next {
+            sends.extend(self.grant(lock, req, &req_vt));
+        }
+        sends
+    }
+
+    /// Materializes the cumulative diff for `page` if intervals in
+    /// `(from, to]` are still undiffed. Returns whether a diff was created.
+    ///
+    /// The diff covers *all* undiffed intervals; callers ensure the open
+    /// interval has not written the page (closing it first if needed), so
+    /// a diff never carries writes newer than its assigned interval.
+    fn materialize_diffs(&mut self, page: PageId, from: Seq, to: Seq) -> bool {
+        let p = &mut self.pages[page];
+        let covered = p.undiffed.iter().any(|&s| s > from && s <= to);
+        if !covered {
+            return false;
+        }
+        let seq = *p.undiffed.last().expect("non-empty undiffed");
+        let twin = if p.open_dirty {
+            // Re-baseline the twin so the open interval's later writes
+            // still diff correctly at its close.
+            let data = p.data.as_ref().expect("dirty page has data");
+            let old = std::mem::replace(p.twin.as_mut().expect("twin live"), data.clone());
+            self.stats.twins_created += 1;
+            old
+        } else {
+            p.twin.take().expect("undiffed page keeps its twin")
+        };
+        let data = p.data.as_ref().expect("dirty page has data");
+        let diff = Diff::compute(&twin, data);
+        self.stats.diffs_created += 1;
+        self.stats.diff_bytes_created += diff.data_bytes() as u64;
+        p.my_diffs.push((seq, diff));
+        p.undiffed.clear();
+        true
+    }
+
+    /// Closes the interval and broadcasts it, diffs included, to all nodes.
+    fn eager_broadcast(&mut self) -> Vec<Envelope> {
+        let Some(interval) = self.close_interval() else {
+            return Vec::new();
+        };
+        let seq = interval.seq;
+        let diffs: Vec<(PageId, Diff)> = interval
+            .pages
+            .iter()
+            .map(|&pg| {
+                self.materialize_diffs(pg, seq - 1, seq);
+                let d = self.pages[pg]
+                    .my_diffs
+                    .iter()
+                    .rev()
+                    .find(|(s, _)| *s >= seq)
+                    .expect("just-materialized diff")
+                    .1
+                    .clone();
+                (pg, d)
+            })
+            .collect();
+        (0..self.cfg.nodes)
+            .filter(|&q| q != self.id)
+            .map(|q| Envelope {
+                from: self.id,
+                to: q,
+                msg: Msg::Update {
+                    interval: interval.clone(),
+                    diffs: diffs.clone(),
+                },
+            })
+            .collect()
+    }
+
+    /// Transfers the token of `lock` to `req`, with the intervals `req`
+    /// lacks.
+    fn grant(&mut self, lock: LockId, req: NodeId, req_vt: &VTime) -> Vec<Envelope> {
+        self.close_interval();
+        let view = self.locks.get_mut(&lock).expect("granting unknown lock");
+        debug_assert!(view.have_token && !view.held);
+        view.have_token = false;
+        let intervals = self.store.between(req_vt, &self.vt);
+        vec![Envelope {
+            from: self.id,
+            to: req,
+            msg: Msg::LockGrant { lock, intervals },
+        }]
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// Arrives at `barrier` (a release point: the interval closes).
+    ///
+    /// Completes immediately on a single-node cluster or when this arrival
+    /// is the last one at the manager; otherwise completes via
+    /// [`Action::BarrierDone`].
+    pub fn barrier_arrive(&mut self, barrier: BarrierId) -> FaultStart {
+        self.close_interval();
+        self.stats.barriers += 1;
+        let mgr = self.cfg.barrier_manager(barrier);
+        // The arriver reports its own intervals not yet shipped to a manager.
+        let my_new = self.own_intervals_since(self.last_reported);
+        self.last_reported = self.vt.get(self.id);
+        if mgr == self.id {
+            let done = self.record_arrival(barrier, self.id, self.vt.clone());
+            if done {
+                let mut sends = Vec::new();
+                let done_now = self.depart(barrier, &mut sends);
+                debug_assert!(done_now);
+                FaultStart { ready: true, sends }
+            } else {
+                FaultStart {
+                    ready: false,
+                    sends: Vec::new(),
+                }
+            }
+        } else {
+            FaultStart {
+                ready: false,
+                sends: vec![Envelope {
+                    from: self.id,
+                    to: mgr,
+                    msg: Msg::BarrierArrive {
+                        barrier,
+                        vt: self.vt.clone(),
+                        intervals: my_new,
+                    },
+                }],
+            }
+        }
+    }
+
+    fn own_intervals_since(&self, from: Seq) -> Vec<IntervalMsg> {
+        let mut out = Vec::new();
+        for seq in (from + 1)..=self.vt.get(self.id) {
+            let rec = self.store.get(self.id, seq).expect("own interval recorded");
+            out.push(IntervalMsg {
+                node: self.id,
+                seq,
+                vt: rec.vt.clone(),
+                pages: rec.pages.clone(),
+            });
+        }
+        out
+    }
+
+    /// Records an arrival at the manager; true when all nodes have arrived.
+    fn record_arrival(&mut self, barrier: BarrierId, node: NodeId, vt: VTime) -> bool {
+        let n = self.cfg.nodes;
+        let st = self.barriers.entry(barrier).or_default();
+        debug_assert!(st.arrivals.iter().all(|&(q, _)| q != node));
+        st.arrivals.push((node, vt));
+        st.arrivals.len() == n
+    }
+
+    /// Issues departures; returns whether the *manager's own* barrier is
+    /// done (always true — the manager departs locally).
+    fn depart(&mut self, barrier: BarrierId, sends: &mut Vec<Envelope>) -> bool {
+        let st = self.barriers.remove(&barrier).expect("departing barrier");
+        let mut dvt = self.vt.clone();
+        for (_, vt) in &st.arrivals {
+            dvt.merge(vt);
+        }
+        for (node, arrival_vt) in &st.arrivals {
+            if *node == self.id {
+                continue;
+            }
+            let intervals = self.store.between(arrival_vt, &dvt);
+            sends.push(Envelope {
+                from: self.id,
+                to: *node,
+                msg: Msg::BarrierDepart {
+                    barrier,
+                    vt: dvt.clone(),
+                    intervals,
+                },
+            });
+        }
+        self.vt.merge(&dvt);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Delivers one protocol message to this node.
+    pub fn handle(&mut self, env: Envelope) -> Handled {
+        debug_assert_eq!(env.to, self.id);
+        let from = env.from;
+        match env.msg {
+            Msg::LockReq {
+                lock,
+                requester,
+                vt,
+            } => self.on_lock_req(lock, requester, vt),
+            Msg::LockForward {
+                lock,
+                requester,
+                vt,
+            } => self.on_lock_forward(lock, requester, vt),
+            Msg::LockGrant { lock, intervals } => self.on_lock_grant(lock, intervals),
+            Msg::BarrierArrive {
+                barrier,
+                vt,
+                intervals,
+            } => self.on_barrier_arrive(barrier, from, vt, intervals),
+            Msg::BarrierDepart {
+                barrier,
+                vt,
+                intervals,
+            } => self.on_barrier_depart(barrier, vt, intervals),
+            Msg::PageReq { page } => self.on_page_req(page, from),
+            Msg::PageReply {
+                page,
+                data,
+                version,
+            } => self.on_page_reply(page, data, version),
+            Msg::DiffReq { page, from: lo, to } => self.on_diff_req(page, from, lo, to),
+            Msg::DiffReply { page, diffs } => self.on_diff_reply(page, from, diffs),
+            Msg::Update { interval, diffs } => self.on_update(interval, diffs),
+            other @ (Msg::IvyReq { .. }
+            | Msg::IvyFwd { .. }
+            | Msg::IvySend { .. }
+            | Msg::IvyInvalidate { .. }
+            | Msg::IvyRelease { .. }) => {
+                panic!("TreadMarks node received an IVY message: {other:?}")
+            }
+        }
+    }
+
+    fn on_lock_req(&mut self, lock: LockId, requester: NodeId, vt: VTime) -> Handled {
+        debug_assert_eq!(self.cfg.lock_manager(lock), self.id);
+        let mgr = self.id;
+        let prev = self.mgr_last.insert(lock, requester).unwrap_or(mgr);
+        if prev == self.id {
+            // We are (or will be) the holder at the tail of the queue.
+            self.on_lock_forward(lock, requester, vt)
+        } else {
+            Handled {
+                sends: vec![Envelope {
+                    from: self.id,
+                    to: prev,
+                    msg: Msg::LockForward {
+                        lock,
+                        requester,
+                        vt,
+                    },
+                }],
+                actions: Vec::new(),
+            }
+        }
+    }
+
+    fn on_lock_forward(&mut self, lock: LockId, requester: NodeId, vt: VTime) -> Handled {
+        let can_grant = {
+            let view = self.lock_view(lock);
+            view.have_token && !view.held
+        };
+        if can_grant {
+            debug_assert!(self.locks[&lock].next.is_none());
+            Handled {
+                sends: self.grant(lock, requester, &vt),
+                actions: Vec::new(),
+            }
+        } else {
+            let view = self.lock_view(lock);
+            assert!(
+                view.next.is_none(),
+                "distributed queue gave node {} two successors for lock {lock}",
+                self.id
+            );
+            view.next = Some((requester, vt));
+            Handled::default()
+        }
+    }
+
+    fn on_lock_grant(&mut self, lock: LockId, intervals: Vec<IntervalMsg>) -> Handled {
+        for m in &intervals {
+            self.integrate_interval(m);
+        }
+        self.merge_vt_from(&intervals);
+        let view = self.lock_view(lock);
+        view.have_token = true;
+        view.held = true;
+        Handled {
+            sends: Vec::new(),
+            actions: vec![Action::LockGranted(lock)],
+        }
+    }
+
+    fn on_barrier_arrive(
+        &mut self,
+        barrier: BarrierId,
+        from: NodeId,
+        vt: VTime,
+        intervals: Vec<IntervalMsg>,
+    ) -> Handled {
+        debug_assert_eq!(self.cfg.barrier_manager(barrier), self.id);
+        for m in &intervals {
+            self.integrate_interval(m);
+        }
+        let all_in = self.record_arrival(barrier, from, vt);
+        let mut out = Handled::default();
+        if all_in {
+            self.depart(barrier, &mut out.sends);
+            out.actions.push(Action::BarrierDone(barrier));
+        }
+        out
+    }
+
+    fn on_barrier_depart(
+        &mut self,
+        barrier: BarrierId,
+        vt: VTime,
+        intervals: Vec<IntervalMsg>,
+    ) -> Handled {
+        for m in &intervals {
+            self.integrate_interval(m);
+        }
+        self.vt.merge(&vt);
+        Handled {
+            sends: Vec::new(),
+            actions: vec![Action::BarrierDone(barrier)],
+        }
+    }
+
+    fn on_page_req(&mut self, page: PageId, from: NodeId) -> Handled {
+        if self.id == ORIGIN {
+            self.origin_page_data(page);
+        }
+        let p = &self.pages[page];
+        let data = p
+            .data
+            .as_ref()
+            .expect("page request sent to a node without a copy")
+            .to_vec();
+        let version = p.applied.clone();
+        Handled {
+            sends: vec![Envelope {
+                from: self.id,
+                to: from,
+                msg: Msg::PageReply {
+                    page,
+                    data,
+                    version,
+                },
+            }],
+            actions: Vec::new(),
+        }
+    }
+
+    fn on_page_reply(&mut self, page: PageId, data: Vec<u8>, version: Vec<Seq>) -> Handled {
+        {
+            let fetch = self.pages[page]
+                .fetch
+                .as_mut()
+                .expect("unsolicited page reply");
+            debug_assert!(fetch.base.is_none());
+            fetch.base = Some((data, version));
+            fetch.outstanding -= 1;
+        }
+        self.try_complete_fetch(page)
+    }
+
+    fn on_diff_req(&mut self, page: PageId, from: NodeId, lo: Seq, hi: Seq) -> Handled {
+        // If the open interval already wrote this page, close it before
+        // materializing: the diff then carries a vector time that dominates
+        // everything those writes causally depend on. (Leaking open writes
+        // into a diff stamped with an *older* interval would let a
+        // concurrent node's diff clobber them at the requester.)
+        if self.pages[page].open_dirty {
+            self.close_interval();
+        }
+        self.materialize_diffs(page, lo, hi);
+        let diffs = self.pages[page]
+            .my_diffs_between(lo, hi)
+            .into_iter()
+            .map(|(s, d)| {
+                let vt = self
+                    .store
+                    .get(self.id, s)
+                    .expect("own interval recorded")
+                    .vt
+                    .clone();
+                (s, vt, d)
+            })
+            .collect();
+        Handled {
+            sends: vec![Envelope {
+                from: self.id,
+                to: from,
+                msg: Msg::DiffReply { page, diffs },
+            }],
+            actions: Vec::new(),
+        }
+    }
+
+    fn on_diff_reply(
+        &mut self,
+        page: PageId,
+        from: NodeId,
+        diffs: Vec<(Seq, VTime, Diff)>,
+    ) -> Handled {
+        {
+            let fetch = self.pages[page]
+                .fetch
+                .as_mut()
+                .expect("unsolicited diff reply");
+            fetch
+                .diffs
+                .extend(diffs.into_iter().map(|(s, vt, d)| (from, s, vt, d)));
+            fetch.outstanding -= 1;
+        }
+        self.try_complete_fetch(page)
+    }
+
+    /// Eager-release update: pure data-plane push. Applies each diff when it
+    /// is the next one in its writer's sequence for a locally present page
+    /// *and* everything the writer had seen is already applied here (the
+    /// interval's vector time is covered) — otherwise a later fetch of a
+    /// causally-older diff could regress the eagerly-applied words. Unsafe
+    /// updates degrade to write notices for a later fault to resolve.
+    fn on_update(&mut self, interval: IntervalMsg, diffs: Vec<(PageId, Diff)>) -> Handled {
+        let writer = interval.node;
+        let seq = interval.seq;
+        for (page, diff) in diffs {
+            let p = &mut self.pages[page];
+            let in_order = p.applied[writer] + 1 == seq && p.pending[writer].is_empty();
+            let causally_ready = interval
+                .vt
+                .iter()
+                .all(|(q, s)| q == writer || p.applied[q] >= s);
+            let pending_clear = p.pending.iter().all(Vec::is_empty);
+            let fetching = p.fetch.is_some();
+            if p.data.is_some() && in_order && causally_ready && pending_clear && !fetching {
+                let data = p.data.as_mut().expect("checked above");
+                diff.apply(data);
+                if let Some(twin) = p.twin.as_mut() {
+                    diff.apply(twin);
+                }
+                p.mark_applied(writer, seq);
+                self.stats.diffs_applied += 1;
+            } else {
+                p.add_notice(writer, seq);
+                self.stats.notices_received += 1;
+            }
+        }
+        Handled::default()
+    }
+}

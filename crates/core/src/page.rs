@@ -1,0 +1,162 @@
+//! Per-node, per-page protocol state.
+
+use crate::{Diff, NodeId, Seq};
+
+/// A node's view of one shared page.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PageMeta {
+    /// Local copy of the page, if the node ever fetched or originated one.
+    pub data: Option<Box<[u8]>>,
+    /// Twin taken at the first write of the current interval; present iff
+    /// the page is dirty in the open interval.
+    pub twin: Option<Box<[u8]>>,
+    /// Per writer node: the highest interval sequence whose modifications
+    /// are reflected in `data`.
+    pub applied: Vec<Seq>,
+    /// Per writer node: pending write-notice sequences (ascending), i.e.
+    /// intervals known to have dirtied this page whose diffs are not yet
+    /// applied locally. Non-empty ⇒ the local copy is invalid.
+    pub pending: Vec<Vec<Seq>>,
+    /// Diffs this node itself materialized for the page, keyed by its own
+    /// interval sequence (ascending). Kept for serving remote requests.
+    /// Each diff is *cumulative*: it covers every own interval after the
+    /// previous entry (lazy diff creation folds multiple intervals into
+    /// the diff made at first request).
+    pub my_diffs: Vec<(Seq, Diff)>,
+    /// Own closed intervals whose modifications still live only in the
+    /// twin-vs-data delta (no diff materialized yet), ascending.
+    pub undiffed: Vec<Seq>,
+    /// The page has been written in the currently open interval.
+    pub open_dirty: bool,
+    /// In-flight fault, if any.
+    pub fetch: Option<FetchState>,
+}
+
+/// Progress of an outstanding page fetch.
+#[derive(Debug, Clone)]
+pub(crate) struct FetchState {
+    /// Replies still expected.
+    pub outstanding: usize,
+    /// Full-page copy received, with the provider's applied-version vector.
+    pub base: Option<(Vec<u8>, Vec<Seq>)>,
+    /// Diffs received so far: `(writer, seq, closing vt, diff)`.
+    pub diffs: Vec<(NodeId, Seq, crate::VTime, Diff)>,
+    /// Whether the faulting access was a write (twin needed on completion).
+    pub want_write: bool,
+}
+
+impl PageMeta {
+    pub fn new(n: usize) -> Self {
+        PageMeta {
+            data: None,
+            twin: None,
+            applied: vec![0; n],
+            pending: vec![Vec::new(); n],
+            my_diffs: Vec::new(),
+            undiffed: Vec::new(),
+            open_dirty: false,
+            fetch: None,
+        }
+    }
+
+    /// A copy is present and no write notices are unapplied.
+    pub fn is_valid(&self) -> bool {
+        self.data.is_some() && self.pending.iter().all(Vec::is_empty)
+    }
+
+    /// Registers a write notice `(writer, seq)` unless already applied or
+    /// already pending. Notices may arrive out of order (eager-release
+    /// updates race with lock grants), so insertion keeps the queue sorted.
+    pub fn add_notice(&mut self, writer: NodeId, seq: Seq) {
+        if seq <= self.applied[writer] {
+            return;
+        }
+        let q = &mut self.pending[writer];
+        if let Err(pos) = q.binary_search(&seq) {
+            q.insert(pos, seq);
+        }
+    }
+
+    /// Marks everything up to `seq` from `writer` as applied, dropping the
+    /// corresponding pending notices.
+    pub fn mark_applied(&mut self, writer: NodeId, seq: Seq) {
+        if seq > self.applied[writer] {
+            self.applied[writer] = seq;
+        }
+        self.pending[writer].retain(|&s| s > self.applied[writer]);
+    }
+
+    /// The materialized diffs needed to cover own intervals in `(from, to]`.
+    ///
+    /// Diffs are cumulative between twin points, so an interval may be
+    /// covered by a diff with a *later* sequence number; the scan therefore
+    /// includes every diff after `from` up to and including the first one
+    /// whose sequence reaches `to`.
+    pub fn my_diffs_between(&self, from: Seq, to: Seq) -> Vec<(Seq, Diff)> {
+        let mut out = Vec::new();
+        for (s, d) in &self.my_diffs {
+            if *s > from {
+                out.push((*s, d.clone()));
+                if *s >= to {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_requires_data_and_no_pending() {
+        let mut p = PageMeta::new(2);
+        assert!(!p.is_valid());
+        p.data = Some(vec![0u8; 16].into_boxed_slice());
+        assert!(p.is_valid());
+        p.add_notice(1, 1);
+        assert!(!p.is_valid());
+        p.mark_applied(1, 1);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn notices_dedup_and_skip_applied() {
+        let mut p = PageMeta::new(2);
+        p.mark_applied(1, 3);
+        p.add_notice(1, 2); // already applied
+        assert!(p.pending[1].is_empty());
+        p.add_notice(1, 4);
+        p.add_notice(1, 4); // duplicate
+        assert_eq!(p.pending[1], vec![4]);
+        p.add_notice(1, 5);
+        assert_eq!(p.pending[1], vec![4, 5]);
+    }
+
+    #[test]
+    fn diff_range_query_covers_folded_intervals() {
+        let mut p = PageMeta::new(1);
+        p.my_diffs.push((1, Diff::default()));
+        p.my_diffs.push((4, Diff::default()));
+        p.my_diffs.push((7, Diff::default()));
+        // Interval 2 and 3's mods are folded into the cumulative diff @4.
+        let got = p.my_diffs_between(1, 3);
+        let seqs: Vec<Seq> = got.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![4], "first diff reaching the range suffices");
+        let got = p.my_diffs_between(1, 6);
+        let seqs: Vec<Seq> = got.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![4, 7], "6 is only covered by the diff @7");
+        assert!(p.my_diffs_between(7, 9).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_notices_stay_sorted() {
+        let mut p = PageMeta::new(2);
+        p.add_notice(1, 5);
+        p.add_notice(1, 3);
+        p.add_notice(1, 5);
+        assert_eq!(p.pending[1], vec![3, 5]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Protocol-level statistics kept by each node.
+
+/// Counters a [`crate::Node`] maintains about its own protocol activity.
+///
+/// Message counts and byte totals are accounted by whatever routes the
+/// envelopes (the timing simulation or the thread runtime), since only the
+/// router sees every hop; these counters cover the protocol events
+/// themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Lock acquires satisfied without any message (token already here).
+    pub local_lock_acquires: u64,
+    /// Lock acquires that required a remote grant.
+    pub remote_lock_acquires: u64,
+    /// Lock releases.
+    pub lock_releases: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Read faults taken (invalid page on a read).
+    pub read_faults: u64,
+    /// Write faults taken (twin creation, possibly after validation).
+    pub write_faults: u64,
+    /// Full pages fetched from another node.
+    pub full_page_fetches: u64,
+    /// Diff request messages this node issued.
+    pub diff_requests: u64,
+    /// Diffs received and applied to local copies.
+    pub diffs_applied: u64,
+    /// Diffs created at interval closes.
+    pub diffs_created: u64,
+    /// Total bytes of modified data across created diffs.
+    pub diff_bytes_created: u64,
+    /// Twins created.
+    pub twins_created: u64,
+    /// Intervals this node closed.
+    pub intervals_closed: u64,
+    /// Write notices received from other nodes.
+    pub notices_received: u64,
+}
+
+impl NodeStats {
+    /// Element-wise sum, for cluster-level aggregation.
+    pub fn merge(&mut self, o: &NodeStats) {
+        self.local_lock_acquires += o.local_lock_acquires;
+        self.remote_lock_acquires += o.remote_lock_acquires;
+        self.lock_releases += o.lock_releases;
+        self.barriers += o.barriers;
+        self.read_faults += o.read_faults;
+        self.write_faults += o.write_faults;
+        self.full_page_fetches += o.full_page_fetches;
+        self.diff_requests += o.diff_requests;
+        self.diffs_applied += o.diffs_applied;
+        self.diffs_created += o.diffs_created;
+        self.diff_bytes_created += o.diff_bytes_created;
+        self.twins_created += o.twins_created;
+        self.intervals_closed += o.intervals_closed;
+        self.notices_received += o.notices_received;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums() {
+        let mut a = NodeStats {
+            barriers: 1,
+            diffs_created: 2,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            barriers: 3,
+            remote_lock_acquires: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.barriers, 4);
+        assert_eq!(a.diffs_created, 2);
+        assert_eq!(a.remote_lock_acquires, 5);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the TreadMarks protocol invariants.
+
+use proptest::prelude::*;
+
+use tmk_core::{Cluster, Config, Diff, VTime, WORD};
+
+// ---------------------------------------------------------------------
+// Diffs
+// ---------------------------------------------------------------------
+
+fn page_strategy(words: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), words * WORD)
+}
+
+proptest! {
+    /// Applying `diff(twin → data)` to a copy of the twin reproduces data.
+    #[test]
+    fn diff_roundtrip(twin in page_strategy(32), data in page_strategy(32)) {
+        let diff = Diff::compute(&twin, &data);
+        let mut page = twin.clone();
+        diff.apply(&mut page);
+        prop_assert_eq!(page, data);
+    }
+
+    /// A diff never touches words that did not change: applying it to an
+    /// unrelated base only overwrites changed words.
+    #[test]
+    fn diff_touches_only_changed_words(
+        twin in page_strategy(16),
+        data in page_strategy(16),
+        other in page_strategy(16),
+    ) {
+        let diff = Diff::compute(&twin, &data);
+        let mut page = other.clone();
+        diff.apply(&mut page);
+        for w in 0..16 {
+            let r = w * WORD..(w + 1) * WORD;
+            if twin[r.clone()] == data[r.clone()] {
+                prop_assert_eq!(&page[r.clone()], &other[r.clone()], "word {} clobbered", w);
+            } else {
+                prop_assert_eq!(&page[r.clone()], &data[r.clone()], "word {} not applied", w);
+            }
+        }
+    }
+
+    /// Diff sizes: empty diff for identical pages; size bounded by page
+    /// plus run headers.
+    #[test]
+    fn diff_size_bounds(twin in page_strategy(32), data in page_strategy(32)) {
+        let diff = Diff::compute(&twin, &data);
+        prop_assert!(diff.data_bytes() <= 32 * WORD);
+        prop_assert!(diff.wire_bytes() >= 4);
+        if twin == data {
+            prop_assert!(diff.is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector timestamps
+// ---------------------------------------------------------------------
+
+fn vt_strategy(n: usize) -> impl Strategy<Value = VTime> {
+    proptest::collection::vec(0u32..20, n).prop_map(move |v| {
+        let mut vt = VTime::zero(n);
+        for (i, s) in v.into_iter().enumerate() {
+            vt.set(i, s);
+        }
+        vt
+    })
+}
+
+proptest! {
+    /// Merge is the lattice join: commutative, idempotent, and an upper
+    /// bound of both operands.
+    #[test]
+    fn vtime_merge_is_join(a in vt_strategy(6), b in vt_strategy(6)) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(a.le(&ab));
+        prop_assert!(b.le(&ab));
+        let mut again = ab.clone();
+        again.merge(&a);
+        prop_assert_eq!(&again, &ab);
+    }
+
+    /// Partial-order sanity: `le` is reflexive and antisymmetric, and
+    /// `concurrent` matches its definition.
+    #[test]
+    fn vtime_partial_order_laws(a in vt_strategy(6), b in vt_strategy(6)) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        prop_assert_eq!(a.concurrent(&b), !a.le(&b) && !b.le(&a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-protocol coherence oracle
+// ---------------------------------------------------------------------
+
+/// Random DSM programs against a sequential oracle: slots written under a
+/// global lock (or privately by their owner with barrier publication) must
+/// read back exactly like a plain array.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Node locks, increments slot, unlocks.
+    LockedAdd { node: usize, slot: usize, delta: u8 },
+    /// Every node arrives at a barrier.
+    Barrier,
+    /// Node writes its own slot region (owner-private data).
+    OwnWrite { node: usize, value: u8 },
+}
+
+fn op_strategy(nodes: usize, slots: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nodes, 0..slots, any::<u8>())
+            .prop_map(|(node, slot, delta)| Op::LockedAdd { node, slot, delta }),
+        Just(Op::Barrier),
+        (0..nodes, any::<u8>()).prop_map(|(node, value)| Op::OwnWrite { node, value }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cluster_matches_sequential_oracle(
+        ops in proptest::collection::vec(op_strategy(4, 8), 1..60)
+    ) {
+        let nodes = 4;
+        let slots = 8usize;
+        let cfg = Config::new(nodes).page_size(256).segment_pages(8);
+        let mut c = Cluster::new(cfg);
+        let base = c.alloc(slots * 8, 8);
+        let own = c.alloc(nodes * 8, 8);
+
+        let mut oracle = vec![0u64; slots];
+        let mut own_oracle = vec![0u64; nodes];
+
+        for op in &ops {
+            match *op {
+                Op::LockedAdd { node, slot, delta } => {
+                    c.lock(node, 0);
+                    let v = c.read_u64(node, base + slot * 8);
+                    prop_assert_eq!(v, oracle[slot], "locked read saw stale data");
+                    c.write_u64(node, base + slot * 8, v + u64::from(delta));
+                    c.unlock(node, 0);
+                    oracle[slot] += u64::from(delta);
+                }
+                Op::Barrier => c.barrier(0),
+                Op::OwnWrite { node, value } => {
+                    c.write_u64(node, own + node * 8, u64::from(value));
+                    own_oracle[node] = u64::from(value);
+                }
+            }
+        }
+        // Publish everything and check the final image on every node.
+        c.barrier(1);
+        for node in 0..nodes {
+            for (slot, &want) in oracle.iter().enumerate() {
+                prop_assert_eq!(c.read_u64(node, base + slot * 8), want);
+            }
+            for (q, &want) in own_oracle.iter().enumerate() {
+                prop_assert_eq!(c.read_u64(node, own + q * 8), want);
+            }
+        }
+    }
+
+    /// The eager-release variant satisfies the same oracle.
+    #[test]
+    fn eager_cluster_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(3, 4), 1..40)
+    ) {
+        let nodes = 3;
+        let cfg = Config::new(nodes)
+            .page_size(256)
+            .segment_pages(8)
+            .eager_release_all();
+        let mut c = Cluster::new(cfg);
+        let base = c.alloc(4 * 8, 8);
+        let own = c.alloc(nodes * 8, 8);
+        let mut oracle = [0u64; 4];
+
+        for op in &ops {
+            match *op {
+                Op::LockedAdd { node, slot, delta } => {
+                    let node = node % nodes;
+                    c.lock(node, 0);
+                    let v = c.read_u64(node, base + slot % 4 * 8);
+                    prop_assert_eq!(v, oracle[slot % 4]);
+                    c.write_u64(node, base + slot % 4 * 8, v + u64::from(delta));
+                    c.unlock(node, 0);
+                    oracle[slot % 4] += u64::from(delta);
+                }
+                Op::Barrier => c.barrier(0),
+                Op::OwnWrite { node, value } => {
+                    let node = node % nodes;
+                    c.write_u64(node, own + node * 8, u64::from(value));
+                }
+            }
+        }
+        c.barrier(1);
+        for node in 0..nodes {
+            for (slot, &want) in oracle.iter().enumerate() {
+                prop_assert_eq!(c.read_u64(node, base + slot * 8), want);
+            }
+        }
+    }
+}

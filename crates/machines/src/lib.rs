@@ -1,0 +1,27 @@
+//! `tmk-machines`: the five platforms of the ISCA'94 case study, assembled
+//! from the workspace's substrates and exposed through the PARMACS-like
+//! [`tmk_parmacs::System`] interface.
+//!
+//! | Platform | Paper role | Composition |
+//! |---|---|---|
+//! | [`Platform::Dec`] | DECstation-5000/240 baseline | primary cache + private memory |
+//! | [`Platform::Sgi`] | SGI 4D/480 (hardware SM) | write-through primary, write-back secondary, Illinois snooping bus |
+//! | [`Platform::AsCluster`] | TreadMarks on ATM (software SM); also the simulation study's AS | `tmk-core` LRC DSM over `tmk-net` ATM with software overheads |
+//! | [`Platform::Ah`] | all-hardware directory design | full-map directory over a crossbar |
+//! | [`Platform::Hs`] | hardware–software hybrid | bus-based SMP nodes, one DSM instance per node |
+//!
+//! Applications run unmodified on every platform via [`run_on`]; the only
+//! thing that changes is the shared-memory implementation — the point of
+//! the paper.
+
+mod dsm;
+mod hw;
+mod hybrid;
+mod report;
+mod run;
+
+pub use dsm::{DsmMachine, DsmParams, DsmProtocol, DsmSys};
+pub use hw::{HwKind, HwMachine, HwParams};
+pub use hybrid::{HsMachine, HsParams};
+pub use report::{Outcome, RunReport};
+pub use run::{run_on, run_workload, DsmTuning, Platform};

@@ -1,0 +1,91 @@
+//! Run results and measurement reports.
+
+use tmk_core::Traffic;
+use tmk_core::NodeStats;
+use tmk_mem::{BusStats, CacheStats, DirectoryStats};
+use tmk_sim::Cycle;
+
+/// Everything a benchmark needs from one run: per-processor results plus a
+/// measurement report.
+#[derive(Debug)]
+pub struct Outcome<R> {
+    /// Per-processor return values, indexed by processor id.
+    pub results: Vec<R>,
+    /// The measurements.
+    pub report: RunReport,
+}
+
+/// Measurements from one simulated execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Processors simulated.
+    pub procs: usize,
+    /// Processor clock, Hz (turns cycles into seconds).
+    pub clock_hz: u64,
+    /// Execution time in cycles (slowest processor).
+    pub cycles: Cycle,
+    /// Per-processor finishing times.
+    pub proc_cycles: Vec<Cycle>,
+    /// DSM message traffic (zero on hardware platforms).
+    pub traffic: Traffic,
+    /// DSM protocol statistics (zero on hardware platforms).
+    pub dsm: NodeStats,
+    /// Snooping-bus statistics, when the platform has a bus.
+    pub bus: Option<BusStats>,
+    /// Directory statistics, when the platform has one.
+    pub directory: Option<DirectoryStats>,
+    /// Summed processor-cache statistics.
+    pub cache: CacheStats,
+    /// Cycle at which [`tmk_parmacs::System::mark`] was called (0 if never).
+    pub mark_cycles: Cycle,
+    /// Traffic snapshot at the mark.
+    pub mark_traffic: Traffic,
+}
+
+impl RunReport {
+    /// Execution time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Seconds elapsed after the measurement mark (whole run if unmarked).
+    pub fn window_seconds(&self) -> f64 {
+        (self.cycles - self.mark_cycles) as f64 / self.clock_hz as f64
+    }
+
+    /// Traffic accumulated after the measurement mark.
+    pub fn window_traffic(&self) -> Traffic {
+        let t = self.traffic;
+        let m = self.mark_traffic;
+        Traffic {
+            miss_msgs: t.miss_msgs - m.miss_msgs,
+            lock_msgs: t.lock_msgs - m.lock_msgs,
+            barrier_msgs: t.barrier_msgs - m.barrier_msgs,
+            update_msgs: t.update_msgs - m.update_msgs,
+            miss_bytes: t.miss_bytes - m.miss_bytes,
+            consistency_bytes: t.consistency_bytes - m.consistency_bytes,
+            header_bytes: t.header_bytes - m.header_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_and_window() {
+        let mut r = RunReport {
+            procs: 2,
+            clock_hz: 100,
+            cycles: 1000,
+            mark_cycles: 200,
+            ..Default::default()
+        };
+        r.traffic.miss_msgs = 10;
+        r.mark_traffic.miss_msgs = 4;
+        assert_eq!(r.seconds(), 10.0);
+        assert_eq!(r.window_seconds(), 8.0);
+        assert_eq!(r.window_traffic().miss_msgs, 6);
+    }
+}

@@ -1,0 +1,416 @@
+//! One entry point to run an application on any of the five platforms.
+
+use parking_lot::Mutex;
+
+use tmk_net::SoftwareOverhead;
+use tmk_parmacs::{Alloc, InitWriter, System};
+use tmk_sim::Engine;
+
+use crate::dsm::{DsmMachine, DsmParams, DsmSys};
+use crate::hw::{HwMachine, HwParams, HwSys};
+use crate::hybrid::{HsMachine, HsParams, HsSys};
+use crate::{Outcome, RunReport};
+
+/// DSM knobs shared by the software and hybrid platforms, for ablations.
+#[derive(Debug, Clone, Default)]
+pub struct DsmTuning {
+    /// Overrides the platform's page size.
+    pub page_size: Option<usize>,
+    /// Locks that release eagerly (the paper's TSP modification).
+    pub eager_locks: Vec<usize>,
+    /// Every lock releases eagerly.
+    pub eager_all: bool,
+    /// Which protocol the AS cluster runs (the hybrid always runs LRC).
+    pub protocol: crate::dsm::DsmProtocol,
+}
+
+/// The five platforms of the case study.
+#[derive(Debug, Clone)]
+pub enum Platform {
+    /// A single DECstation-5000/240 (the baseline of Table 1 and the
+    /// denominator of the TreadMarks speedups).
+    Dec,
+    /// The SGI 4D/480 bus machine with `procs` processors (≤ 8).
+    Sgi {
+        /// Processor count.
+        procs: usize,
+    },
+    /// TreadMarks on uniprocessor nodes over a general-purpose network:
+    /// the Part-1 cluster (`part1: true`, DECstation/ATM/Ultrix parameters)
+    /// or the simulation study's AS design (100 MHz parameters).
+    AsCluster {
+        /// Node count (= processor count).
+        procs: usize,
+        /// Use the Part-1 experimental parameters instead of the Part-2
+        /// simulation parameters.
+        part1: bool,
+        /// Software overhead override (kernel-level TreadMarks, Figures
+        /// 14–15 sweeps); `None` keeps the platform default.
+        so: Option<SoftwareOverhead>,
+        /// DSM knobs.
+        tuning: DsmTuning,
+    },
+    /// The all-hardware directory design.
+    Ah {
+        /// Processor count (≤ 64).
+        procs: usize,
+    },
+    /// The hardware–software hybrid: `nodes` bus-based SMPs of `per_node`
+    /// processors each.
+    Hs {
+        /// Node count.
+        nodes: usize,
+        /// Processors per node.
+        per_node: usize,
+        /// Software overhead override (Figure 16 sweep).
+        so: Option<SoftwareOverhead>,
+        /// DSM knobs.
+        tuning: DsmTuning,
+    },
+}
+
+impl Platform {
+    /// Total processors this platform simulates.
+    pub fn procs(&self) -> usize {
+        match self {
+            Platform::Dec => 1,
+            Platform::Sgi { procs } | Platform::Ah { procs } => *procs,
+            Platform::AsCluster { procs, .. } => *procs,
+            Platform::Hs {
+                nodes, per_node, ..
+            } => nodes * per_node,
+        }
+    }
+
+    /// A short display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Dec => "DECstation-5000/240",
+            Platform::Sgi { .. } => "SGI 4D/480",
+            Platform::AsCluster { part1: true, .. } => "TreadMarks/ATM",
+            Platform::AsCluster { part1: false, .. } => "AS",
+            Platform::Ah { .. } => "AH",
+            Platform::Hs { .. } => "HS",
+        }
+    }
+
+    /// Convenience constructor for the Part-1 TreadMarks cluster.
+    pub fn treadmarks(procs: usize) -> Platform {
+        Platform::AsCluster {
+            procs,
+            part1: true,
+            so: None,
+            tuning: DsmTuning::default(),
+        }
+    }
+
+    /// Convenience constructor for the simulated AS design.
+    pub fn as_sim(procs: usize) -> Platform {
+        Platform::AsCluster {
+            procs,
+            part1: false,
+            so: None,
+            tuning: DsmTuning::default(),
+        }
+    }
+
+    /// Convenience constructor for the simulated HS design.
+    pub fn hs_sim(nodes: usize, per_node: usize) -> Platform {
+        Platform::Hs {
+            nodes,
+            per_node,
+            so: None,
+            tuning: DsmTuning::default(),
+        }
+    }
+}
+
+/// Runs an application on a platform.
+///
+/// `plan` lays out shared data in a `segment_bytes` segment, `init` writes
+/// the initial contents on the master (pre-parallel), and `body` runs on
+/// every simulated processor. Returns per-processor results plus the
+/// measurement report.
+pub fn run_on<P, R, FP, FI, FB>(
+    platform: &Platform,
+    segment_bytes: usize,
+    plan: FP,
+    init: FI,
+    body: FB,
+) -> Outcome<R>
+where
+    P: Send + Sync,
+    R: Send,
+    FP: FnOnce(&mut Alloc) -> P,
+    FI: FnOnce(&P, &mut dyn InitWriter),
+    FB: Fn(&dyn System, &P) -> R + Send + Sync,
+{
+    let mut alloc = Alloc::new(segment_bytes);
+    let p = plan(&mut alloc);
+
+    match platform {
+        Platform::Dec => {
+            let mut machine = HwMachine::new(HwParams::dec_5000_240(), segment_bytes);
+            init(&p, &mut machine);
+            run_hw(machine, 1, &p, body)
+        }
+        Platform::Sgi { procs } => {
+            let mut machine = HwMachine::new(HwParams::sgi_4d480(*procs), segment_bytes);
+            init(&p, &mut machine);
+            run_hw(machine, *procs, &p, body)
+        }
+        Platform::Ah { procs } => {
+            let mut machine = HwMachine::new(HwParams::ah(*procs), segment_bytes);
+            init(&p, &mut machine);
+            run_hw(machine, *procs, &p, body)
+        }
+        Platform::AsCluster {
+            procs,
+            part1,
+            so,
+            tuning,
+        } => {
+            let mut params = if *part1 {
+                DsmParams::treadmarks_dec_atm(*procs)
+            } else {
+                DsmParams::as_sim(*procs)
+            };
+            if let Some(so) = so {
+                params.so = *so;
+            }
+            let mut machine = DsmMachine::new(params, segment_bytes, tuning);
+            init(&p, &mut machine);
+            run_dsm(machine, *procs, &p, body)
+        }
+        Platform::Hs {
+            nodes,
+            per_node,
+            so,
+            tuning,
+        } => {
+            let mut params = HsParams::hs_sim(*nodes, *per_node);
+            if let Some(so) = so {
+                params.so = *so;
+            }
+            let procs = params.procs();
+            let mut machine = HsMachine::new(params, segment_bytes, tuning);
+            init(&p, &mut machine);
+            run_hs(machine, procs, &p, body)
+        }
+    }
+}
+
+fn collect<R>(results: Mutex<Vec<Option<R>>>) -> Vec<R> {
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every processor returned"))
+        .collect()
+}
+
+fn run_hw<P, R, FB>(machine: HwMachine, procs: usize, p: &P, body: FB) -> Outcome<R>
+where
+    P: Send + Sync,
+    R: Send,
+    FB: Fn(&dyn System, &P) -> R + Send + Sync,
+{
+    let engine = Engine::new(machine, procs);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let run = engine.run(|ctx| {
+        let sys = HwSys::new(ctx);
+        let out = body(&sys, p);
+        results.lock()[ctx.id()] = Some(out);
+    });
+    let mut report = RunReport {
+        procs,
+        cycles: run.time(),
+        proc_cycles: run.clocks.clone(),
+        ..Default::default()
+    };
+    run.machine.fill_report(&mut report);
+    Outcome {
+        results: collect(results),
+        report,
+    }
+}
+
+fn run_dsm<P, R, FB>(machine: DsmMachine, procs: usize, p: &P, body: FB) -> Outcome<R>
+where
+    P: Send + Sync,
+    R: Send,
+    FB: Fn(&dyn System, &P) -> R + Send + Sync,
+{
+    let engine = Engine::new(machine, procs);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let run = engine.run(|ctx| {
+        let sys = DsmSys::new(ctx);
+        let out = body(&sys, p);
+        results.lock()[ctx.id()] = Some(out);
+    });
+    let mut report = RunReport {
+        procs,
+        cycles: run.time(),
+        proc_cycles: run.clocks.clone(),
+        ..Default::default()
+    };
+    run.machine.fill_report(&mut report);
+    Outcome {
+        results: collect(results),
+        report,
+    }
+}
+
+fn run_hs<P, R, FB>(machine: HsMachine, procs: usize, p: &P, body: FB) -> Outcome<R>
+where
+    P: Send + Sync,
+    R: Send,
+    FB: Fn(&dyn System, &P) -> R + Send + Sync,
+{
+    let engine = Engine::new(machine, procs);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let run = engine.run(|ctx| {
+        let sys = HsSys::new(ctx);
+        let out = body(&sys, p);
+        results.lock()[ctx.id()] = Some(out);
+    });
+    let mut report = RunReport {
+        procs,
+        cycles: run.time(),
+        proc_cycles: run.clocks.clone(),
+        ..Default::default()
+    };
+    run.machine.fill_report(&mut report);
+    Outcome {
+        results: collect(results),
+        report,
+    }
+}
+
+/// Runs a [`Workload`](tmk_parmacs::Workload) on a platform, returning the
+/// per-processor checksums plus the measurement report.
+pub fn run_workload<W: tmk_parmacs::Workload>(platform: &Platform, w: &W) -> Outcome<f64> {
+    run_on(
+        platform,
+        w.segment_bytes(),
+        |alloc| w.plan(alloc),
+        |plan, writer| w.init(plan, writer),
+        |sys, plan| w.body(sys, plan),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmk_parmacs::{InitExt, SharedSlice};
+
+    /// A tiny workload exercising locks, barriers, reads and writes,
+    /// correct on every platform.
+    fn exercise(platform: Platform) -> (Vec<u64>, RunReport) {
+        let procs = platform.procs();
+        let out = run_on(
+            &platform,
+            1 << 16,
+            |alloc| {
+                let counter: SharedSlice<u64> = alloc.slice(1);
+                let slots: SharedSlice<u64> = alloc.slice_aligned(procs, 4096);
+                (counter, slots)
+            },
+            |(counter, _), w| {
+                w.init(counter.addr(), 1000u64);
+            },
+            |sys, (counter, slots)| {
+                let me = sys.pid();
+                for _ in 0..5 {
+                    sys.lock(0);
+                    let v = counter.get(sys, 0);
+                    counter.set(sys, 0, v + 1);
+                    sys.unlock(0);
+                }
+                slots.set(sys, me, me as u64 * 10);
+                sys.compute(500);
+                sys.barrier(0);
+                let mut sum = counter.get(sys, 0);
+                for q in 0..sys.nprocs() {
+                    sum += slots.get(sys, q);
+                }
+                sum
+            },
+        );
+        (out.results, out.report)
+    }
+
+    fn expected(procs: usize) -> u64 {
+        1000 + 5 * procs as u64 + (0..procs as u64).map(|q| q * 10).sum::<u64>()
+    }
+
+    #[test]
+    fn dec_uniprocessor() {
+        let (r, rep) = exercise(Platform::Dec);
+        assert_eq!(r, vec![expected(1)]);
+        assert!(rep.cycles > 0);
+        assert_eq!(rep.clock_hz, 40_000_000);
+    }
+
+    #[test]
+    fn sgi_bus_machine() {
+        let (r, rep) = exercise(Platform::Sgi { procs: 8 });
+        assert!(r.into_iter().all(|v| v == expected(8)));
+        assert!(rep.bus.is_some());
+    }
+
+    #[test]
+    fn treadmarks_cluster() {
+        let (r, rep) = exercise(Platform::treadmarks(8));
+        assert!(r.into_iter().all(|v| v == expected(8)));
+        assert!(rep.traffic.total_msgs() > 0);
+        assert!(rep.dsm.barriers == 8);
+    }
+
+    #[test]
+    fn as_sim_scales_to_16() {
+        let (r, rep) = exercise(Platform::as_sim(16));
+        assert!(r.into_iter().all(|v| v == expected(16)));
+        assert_eq!(rep.clock_hz, 100_000_000);
+    }
+
+    #[test]
+    fn ah_directory_machine() {
+        let (r, rep) = exercise(Platform::Ah { procs: 16 });
+        assert!(r.into_iter().all(|v| v == expected(16)));
+        assert!(rep.directory.is_some());
+    }
+
+    #[test]
+    fn hs_hybrid_machine() {
+        let (r, rep) = exercise(Platform::hs_sim(4, 4));
+        assert!(r.into_iter().all(|v| v == expected(16)));
+        assert!(rep.bus.is_some());
+        assert!(rep.traffic.total_msgs() > 0);
+    }
+
+    #[test]
+    fn hs_single_node_needs_no_messages() {
+        let (r, rep) = exercise(Platform::hs_sim(1, 8));
+        assert!(r.into_iter().all(|v| v == expected(8)));
+        assert_eq!(rep.traffic.total_msgs(), 0);
+    }
+
+    #[test]
+    fn faster_network_helps_dsm() {
+        // Kernel-level TreadMarks beats user-level on a sync-heavy loop.
+        let user = exercise(Platform::treadmarks(4)).1.cycles;
+        let kernel = {
+            let platform = Platform::AsCluster {
+                procs: 4,
+                part1: true,
+                so: Some(SoftwareOverhead::ultrix_kernel()),
+                tuning: DsmTuning::default(),
+            };
+            exercise(platform).1.cycles
+        };
+        assert!(
+            kernel < user,
+            "kernel-level ({kernel}) should beat user-level ({user})"
+        );
+    }
+}

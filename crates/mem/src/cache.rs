@@ -1,0 +1,267 @@
+//! Direct-mapped cache tag/state arrays.
+
+use crate::LineAddr;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Block (line) size in bytes.
+    pub block: usize,
+}
+
+impl CacheParams {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both values are powers of two with `block <= size`.
+    pub fn new(size: usize, block: usize) -> Self {
+        assert!(size.is_power_of_two() && block.is_power_of_two() && block <= size);
+        CacheParams { size, block }
+    }
+
+    /// Number of sets (direct-mapped: one line per set).
+    pub fn sets(&self) -> usize {
+        self.size / self.block
+    }
+
+    /// The line address containing a byte address.
+    pub fn line_of(&self, addr: usize) -> LineAddr {
+        (addr / self.block) as LineAddr
+    }
+
+    /// Iterates the line addresses touched by `len` bytes at `addr`.
+    pub fn lines_of(&self, addr: usize, len: usize) -> impl Iterator<Item = LineAddr> {
+        let first = addr / self.block;
+        let last = if len == 0 {
+            first
+        } else {
+            (addr + len - 1) / self.block
+        };
+        (first..=last).map(|l| l as LineAddr)
+    }
+}
+
+/// MESI line states (the Illinois protocol's four states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not present.
+    Invalid,
+    /// Clean, possibly cached elsewhere.
+    Shared,
+    /// Clean, only copy.
+    Exclusive,
+    /// Dirty, only copy.
+    Modified,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit with sufficient permission.
+    pub hits: u64,
+    /// Accesses that missed (not present).
+    pub misses: u64,
+    /// Write accesses that hit a Shared line (upgrade needed).
+    pub upgrades: u64,
+    /// Lines displaced by fills.
+    pub evictions: u64,
+    /// Displaced lines that were Modified (write-back needed).
+    pub dirty_evictions: u64,
+}
+
+/// A direct-mapped cache: tags and coherence states only (data lives in the
+/// machine's canonical memory image).
+#[derive(Debug, Clone)]
+pub struct DirectCache {
+    params: CacheParams,
+    tags: Vec<Option<LineAddr>>,
+    states: Vec<LineState>,
+    stats: CacheStats,
+}
+
+/// Result of a [`DirectCache::probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Present with enough permission for the access.
+    Hit,
+    /// Present as Shared but the access is a write: ownership upgrade.
+    UpgradeMiss,
+    /// Not present.
+    Miss,
+}
+
+impl DirectCache {
+    /// An empty cache with the given geometry.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        DirectCache {
+            params,
+            tags: vec![None; sets],
+            states: vec![LineState::Invalid; sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line as usize) % self.params.sets()
+    }
+
+    /// The current state of `line`, if present.
+    pub fn state_of(&self, line: LineAddr) -> LineState {
+        let s = self.set_of(line);
+        if self.tags[s] == Some(line) {
+            self.states[s]
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// Classifies an access and updates hit/miss counters. Does not change
+    /// tag state; callers follow up with [`fill`](Self::fill) /
+    /// [`set_state`](Self::set_state) according to the coherence protocol.
+    pub fn probe(&mut self, line: LineAddr, write: bool) -> Probe {
+        match self.state_of(line) {
+            LineState::Invalid => {
+                self.stats.misses += 1;
+                Probe::Miss
+            }
+            LineState::Shared if write => {
+                self.stats.upgrades += 1;
+                Probe::UpgradeMiss
+            }
+            LineState::Modified | LineState::Exclusive if write => {
+                self.stats.hits += 1;
+                // A write to an Exclusive line silently becomes Modified.
+                let s = self.set_of(line);
+                self.states[s] = LineState::Modified;
+                Probe::Hit
+            }
+            _ => {
+                self.stats.hits += 1;
+                Probe::Hit
+            }
+        }
+    }
+
+    /// Installs `line` in `state`, returning the displaced line (and its
+    /// state) if the set was occupied by a different line.
+    pub fn fill(&mut self, line: LineAddr, state: LineState) -> Option<(LineAddr, LineState)> {
+        debug_assert_ne!(state, LineState::Invalid);
+        let s = self.set_of(line);
+        let victim = match self.tags[s] {
+            Some(old) if old != line => {
+                self.stats.evictions += 1;
+                if self.states[s] == LineState::Modified {
+                    self.stats.dirty_evictions += 1;
+                }
+                Some((old, self.states[s]))
+            }
+            _ => None,
+        };
+        self.tags[s] = Some(line);
+        self.states[s] = state;
+        victim
+    }
+
+    /// Changes the state of a present line (no-op if absent).
+    pub fn set_state(&mut self, line: LineAddr, state: LineState) {
+        let s = self.set_of(line);
+        if self.tags[s] == Some(line) {
+            if state == LineState::Invalid {
+                self.tags[s] = None;
+            }
+            self.states[s] = state;
+        }
+    }
+
+    /// Removes a line (snoop invalidation).
+    pub fn invalidate(&mut self, line: LineAddr) {
+        self.set_state(line, LineState::Invalid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DirectCache {
+        DirectCache::new(CacheParams::new(1024, 64)) // 16 sets
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache();
+        assert_eq!(c.probe(5, false), Probe::Miss);
+        assert!(c.fill(5, LineState::Shared).is_none());
+        assert_eq!(c.probe(5, false), Probe::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_to_shared_is_upgrade() {
+        let mut c = cache();
+        c.fill(7, LineState::Shared);
+        assert_eq!(c.probe(7, true), Probe::UpgradeMiss);
+        c.set_state(7, LineState::Modified);
+        assert_eq!(c.probe(7, true), Probe::Hit);
+    }
+
+    #[test]
+    fn exclusive_write_silently_modifies() {
+        let mut c = cache();
+        c.fill(3, LineState::Exclusive);
+        assert_eq!(c.probe(3, true), Probe::Hit);
+        assert_eq!(c.state_of(3), LineState::Modified);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = cache(); // 16 sets: lines 2 and 18 conflict
+        c.fill(2, LineState::Modified);
+        let victim = c.fill(18, LineState::Shared);
+        assert_eq!(victim, Some((2, LineState::Modified)));
+        assert_eq!(c.state_of(2), LineState::Invalid);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn refill_same_line_is_not_eviction() {
+        let mut c = cache();
+        c.fill(2, LineState::Shared);
+        assert!(c.fill(2, LineState::Modified).is_none());
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lines_of_ranges() {
+        let p = CacheParams::new(1024, 64);
+        let lines: Vec<_> = p.lines_of(60, 8).collect();
+        assert_eq!(lines, vec![0, 1]);
+        let lines: Vec<_> = p.lines_of(64, 64).collect();
+        assert_eq!(lines, vec![1]);
+        assert_eq!(p.lines_of(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = cache();
+        c.fill(9, LineState::Exclusive);
+        c.invalidate(9);
+        assert_eq!(c.state_of(9), LineState::Invalid);
+        assert_eq!(c.probe(9, false), Probe::Miss);
+    }
+}

@@ -1,0 +1,25 @@
+//! `tmk-mem`: hardware memory-system models for the case study.
+//!
+//! Three coherence substrates, all timing/state models over a canonical
+//! memory image (hardware keeps data coherent by construction, so only tags,
+//! states and latencies need simulating):
+//!
+//! * [`DirectCache`] — a direct-mapped cache tag/state array, used for both
+//!   primary and secondary caches;
+//! * [`SnoopBus`] — an Illinois-protocol (MESI with cache-to-cache supply)
+//!   snooping bus connecting per-processor caches, with occupancy-based bus
+//!   contention: the SGI 4D/480 side of the paper and the intra-node fabric
+//!   of the HS machines;
+//! * [`Directory`] — a full-map directory protocol over a low-latency
+//!   crossbar (DASH/FLASH-like): the paper's all-hardware (AH) design.
+
+mod cache;
+mod directory;
+mod snoop;
+
+pub use cache::{CacheParams, CacheStats, DirectCache, LineState, Probe};
+pub use directory::{DirAccess, Directory, DirectoryParams, DirectoryStats};
+pub use snoop::{BusParams, BusStats, SnoopAccess, SnoopBus};
+
+/// A cache-line address (byte address divided by the block size).
+pub type LineAddr = u64;

@@ -1,0 +1,310 @@
+//! `tmk-net`: network and communication-software cost models.
+//!
+//! Two ingredients of every DSM message's latency in the case study:
+//!
+//! * the **wire**: a point-to-point network (ATM LAN through a non-blocking
+//!   switch, or a crossbar) with per-link bandwidth, switch latency and
+//!   occupancy-based contention — [`PointToPointNet`];
+//! * the **software**: fixed per-message kernel-entry cost, per-word copy
+//!   cost, fault/handler invocation cost, and diff-creation cost —
+//!   [`SoftwareOverhead`]. The paper's Figures 14–16 sweep exactly these
+//!   knobs (Peregrine-like and SHRIMP-like interfaces), which the presets
+//!   reproduce.
+//!
+//! All parameters are in processor cycles; see `DESIGN.md` §4 for how each
+//! value was reconstructed (the paper scrape lost its numerals).
+
+use tmk_sim::Cycle;
+
+/// Word size used for per-word software costs (32-bit MIPS word).
+pub const WORD_BYTES: usize = 4;
+
+/// Communication software costs, in processor cycles.
+///
+/// The simulation charges, per the paper: "the software overhead of entering
+/// the kernel to send or receive messages, including data copying (fixed +
+/// message size in words), calling a user-level handler for page faults and
+/// incoming messages, and creating a diff (words per page)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareOverhead {
+    /// Fixed cycles to send one message (kernel entry, protocol stack).
+    pub fixed_send: Cycle,
+    /// Fixed cycles to receive one message.
+    pub fixed_recv: Cycle,
+    /// Cycles per 32-bit word copied at each end.
+    pub per_word: Cycle,
+    /// Cycles to dispatch a user-level handler (page fault or incoming
+    /// request).
+    pub handler: Cycle,
+    /// Cycles per word scanned when creating a diff.
+    pub diff_per_word: Cycle,
+}
+
+impl SoftwareOverhead {
+    /// User-level TreadMarks on Ultrix, DECstation-5000/240 (40 MHz): the
+    /// Part-1 experimental platform. Chosen to land the paper's measured
+    /// sub-millisecond remote lock and few-millisecond 8-node barrier.
+    pub fn ultrix_user() -> Self {
+        SoftwareOverhead {
+            fixed_send: 6000,
+            fixed_recv: 6000,
+            per_word: 4,
+            handler: 1000,
+            diff_per_word: 4,
+        }
+    }
+
+    /// The paper's kernel-level TreadMarks implementation (Section 2.4.4):
+    /// roughly halves the fixed per-message cost.
+    pub fn ultrix_kernel() -> Self {
+        SoftwareOverhead {
+            fixed_send: 3000,
+            fixed_recv: 3000,
+            ..Self::ultrix_user()
+        }
+    }
+
+    /// Baseline for the Part-2 simulation study (100 MHz processors).
+    pub fn sim_baseline() -> Self {
+        SoftwareOverhead {
+            fixed_send: 2000,
+            fixed_recv: 2000,
+            per_word: 10,
+            handler: 500,
+            diff_per_word: 4,
+        }
+    }
+
+    /// Replaces the fixed costs (the Peregrine-like and SHRIMP-like points
+    /// of Figures 14–16).
+    pub fn with_fixed(mut self, fixed: Cycle) -> Self {
+        self.fixed_send = fixed;
+        self.fixed_recv = fixed;
+        self
+    }
+
+    /// Replaces the per-word copy cost ("one bcopy to the interface").
+    pub fn with_per_word(mut self, per_word: Cycle) -> Self {
+        self.per_word = per_word;
+        self
+    }
+
+    /// Cycles the sender spends to emit a message with `payload` bytes.
+    pub fn send_cycles(&self, payload: usize) -> Cycle {
+        self.fixed_send + self.words(payload) * self.per_word
+    }
+
+    /// Cycles the receiver spends to accept a message with `payload` bytes
+    /// and dispatch its handler.
+    pub fn recv_cycles(&self, payload: usize) -> Cycle {
+        self.fixed_recv + self.words(payload) * self.per_word + self.handler
+    }
+
+    /// Cycles to create a diff over `page_bytes` of twin data.
+    pub fn diff_cycles(&self, page_bytes: usize) -> Cycle {
+        self.words(page_bytes) * self.diff_per_word
+    }
+
+    fn words(&self, bytes: usize) -> Cycle {
+        bytes.div_ceil(WORD_BYTES) as Cycle
+    }
+}
+
+/// Parameters of a point-to-point network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetParams {
+    /// Wire cycles per byte on a link (inverse bandwidth, in processor
+    /// cycles).
+    pub cycles_per_byte: f64,
+    /// Switch / flight latency per message, in cycles.
+    pub latency: Cycle,
+}
+
+impl NetParams {
+    /// The Part-1 Fore ATM LAN at 40 MHz: ~40 Mbit/s effective user-to-user
+    /// bandwidth (5 MB/s ⇒ 8 cycles/byte at 25 ns/cycle) and a 10 µs switch
+    /// traversal.
+    pub fn atm_40mhz() -> Self {
+        NetParams {
+            cycles_per_byte: 8.0,
+            latency: 400,
+        }
+    }
+
+    /// The Part-2 general-purpose network at 100 MHz: 155 Mbit/s
+    /// point-to-point (≈19.4 MB/s ⇒ ~0.52 cycles/byte at 10 ns/cycle), 1 µs
+    /// latency.
+    pub fn atm_100mhz() -> Self {
+        NetParams {
+            cycles_per_byte: 0.52,
+            latency: 100,
+        }
+    }
+
+    /// The Part-2 crossbar (Paragon-like): 200 MB/s point-to-point
+    /// (0.05 cycles/byte) and 100 ns latency.
+    pub fn crossbar_100mhz() -> Self {
+        NetParams {
+            cycles_per_byte: 0.05,
+            latency: 10,
+        }
+    }
+}
+
+/// A point-to-point network of full-duplex host links through a
+/// non-blocking switch: disjoint host pairs communicate concurrently
+/// (the property that lets SOR's neighbor exchanges overlap on TreadMarks
+/// while they serialize on the SGI bus).
+///
+/// Contention is modelled by occupancy reservation: a transfer holds the
+/// sender's transmit link and the receiver's receive link from its start
+/// until its last byte.
+#[derive(Debug, Clone)]
+pub struct PointToPointNet {
+    params: NetParams,
+    tx_free: Vec<Cycle>,
+    rx_free: Vec<Cycle>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl PointToPointNet {
+    /// A network connecting `hosts` endpoints.
+    pub fn new(hosts: usize, params: NetParams) -> Self {
+        PointToPointNet {
+            params,
+            tx_free: vec![0; hosts],
+            rx_free: vec![0; hosts],
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn hosts(&self) -> usize {
+        self.tx_free.len()
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> NetParams {
+        self.params
+    }
+
+    /// Schedules a `bytes`-byte message leaving `from` at `depart`; returns
+    /// the cycle its last byte arrives at `to`, and reserves link occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (local delivery never touches the network).
+    pub fn transfer(&mut self, from: usize, to: usize, bytes: usize, depart: Cycle) -> Cycle {
+        assert_ne!(from, to, "loopback messages do not use the network");
+        let wire = (bytes as f64 * self.params.cycles_per_byte).ceil() as Cycle;
+        let start = depart.max(self.tx_free[from]).max(self.rx_free[to]);
+        let done = start + wire;
+        self.tx_free[from] = done;
+        self.rx_free[to] = done;
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        done + self.params.latency
+    }
+
+    /// Messages carried so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes carried so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_costs_scale_with_words() {
+        let so = SoftwareOverhead::sim_baseline();
+        assert_eq!(so.send_cycles(0), 2000);
+        assert_eq!(so.send_cycles(4), 2010);
+        assert_eq!(so.send_cycles(5), 2020, "partial word rounds up");
+        assert_eq!(so.recv_cycles(0), 2500);
+        assert_eq!(so.diff_cycles(4096), 1024 * 4);
+    }
+
+    #[test]
+    fn presets_orders() {
+        let user = SoftwareOverhead::ultrix_user();
+        let kernel = SoftwareOverhead::ultrix_kernel();
+        assert!(kernel.fixed_send < user.fixed_send);
+        let base = SoftwareOverhead::sim_baseline();
+        let peregrine = base.with_fixed(500);
+        let shrimp = base.with_fixed(100).with_per_word(1);
+        assert!(shrimp.send_cycles(4096) < peregrine.send_cycles(4096));
+        assert!(peregrine.send_cycles(4096) < base.send_cycles(4096));
+    }
+
+    #[test]
+    fn uncontended_transfer_is_wire_plus_latency() {
+        let mut net = PointToPointNet::new(4, NetParams::atm_40mhz());
+        let arrive = net.transfer(0, 1, 100, 1000);
+        assert_eq!(arrive, 1000 + 800 + 400);
+        assert_eq!(net.messages(), 1);
+        assert_eq!(net.bytes(), 100);
+    }
+
+    #[test]
+    fn same_link_serializes_disjoint_pairs_do_not() {
+        let mut net = PointToPointNet::new(4, NetParams::atm_40mhz());
+        let a = net.transfer(0, 1, 1000, 0);
+        // Second message on the same tx link queues behind the first.
+        let b = net.transfer(0, 2, 1000, 0);
+        assert_eq!(b, a + 8000, "tx link occupancy serializes");
+        // A disjoint pair is unaffected (non-blocking switch).
+        let c = net.transfer(2, 3, 1000, 0);
+        assert_eq!(c, a, "disjoint pairs run concurrently");
+    }
+
+    #[test]
+    fn receiver_link_also_contends() {
+        let mut net = PointToPointNet::new(4, NetParams::atm_40mhz());
+        let a = net.transfer(1, 0, 1000, 0);
+        let b = net.transfer(2, 0, 1000, 0);
+        assert_eq!(b, a + 8000, "rx link occupancy serializes fan-in");
+    }
+
+    #[test]
+    fn transfers_accumulate_stats() {
+        let mut net = PointToPointNet::new(3, NetParams::crossbar_100mhz());
+        for i in 0..5 {
+            net.transfer(0, 1, 100 + i, 0);
+        }
+        assert_eq!(net.messages(), 5);
+        assert_eq!(net.bytes(), 100 + 101 + 102 + 103 + 104);
+        assert_eq!(net.hosts(), 3);
+    }
+
+    #[test]
+    fn late_departure_ignores_past_occupancy() {
+        let mut net = PointToPointNet::new(2, NetParams::atm_40mhz());
+        let a = net.transfer(0, 1, 10, 0);
+        // Departing long after the link freed: no queueing.
+        let b = net.transfer(0, 1, 10, 1_000_000);
+        assert!(a < 1_000_000);
+        assert_eq!(b, 1_000_000 + 80 + 400);
+    }
+
+    #[test]
+    fn diff_cost_zero_for_empty_page() {
+        let so = SoftwareOverhead::ultrix_user();
+        assert_eq!(so.diff_cycles(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        let mut net = PointToPointNet::new(2, NetParams::crossbar_100mhz());
+        net.transfer(1, 1, 8, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! `tmk-parmacs`: the parallel programming interface shared by every
+//! platform in the case study.
+//!
+//! The paper's applications are written once against the ANL PARMACS macros
+//! and recompiled for each machine; the shared-memory implementation is the
+//! only thing that changes. This crate plays the PARMACS role: the
+//! [`System`] trait is the programming interface, implemented by every
+//! machine model in `tmk-machines` (SGI-like bus machine, TreadMarks/ATM
+//! cluster, directory machine, hybrid) and trivially by
+//! [`SequentialSystem`] for reference runs.
+//!
+//! Applications are generic over `S: System`, address shared memory through
+//! typed [`SharedSlice`]s laid out by an [`Alloc`], initialize it through
+//! [`InitWriter`] on the master before the parallel phase, and synchronize
+//! with numbered locks and barriers.
+
+use std::marker::PhantomData;
+
+/// Simulated-cycle count (re-declared here so apps need not depend on the
+/// simulator; machine models interpret it).
+pub type Cycle = u64;
+
+/// The PARMACS-like programming interface, one handle per processor.
+///
+/// Data-plane calls operate on a flat shared byte segment. Ranged accesses
+/// are the unit of simulated atomicity: a single `read_bytes`/`write_bytes`
+/// executes at one simulated instant (machine models charge per-cache-line
+/// costs internally), so apps should size them like the real programs'
+/// natural data units (a matrix row, a molecule record, a queue entry).
+pub trait System {
+    /// Number of processors in this run.
+    fn nprocs(&self) -> usize;
+    /// This processor's id, in `0..nprocs`.
+    fn pid(&self) -> usize;
+    /// Reads shared memory.
+    fn read_bytes(&self, addr: usize, buf: &mut [u8]);
+    /// Writes shared memory.
+    fn write_bytes(&self, addr: usize, data: &[u8]);
+    /// Acquires a numbered global lock.
+    fn lock(&self, lock: usize);
+    /// Releases a numbered global lock.
+    fn unlock(&self, lock: usize);
+    /// Waits at a numbered global barrier until all processors arrive.
+    fn barrier(&self, barrier: usize);
+    /// Charges `cycles` of private computation (the execution-driven
+    /// equivalent of actually spending that much CPU time).
+    fn compute(&self, cycles: Cycle);
+    /// Marks the start of the measurement window: machine models snapshot
+    /// their statistics counters so steady-state rates can exclude cold
+    /// start (the paper excludes SOR's first iteration this way).
+    fn mark(&self) {}
+}
+
+/// Typed convenience accessors for any [`System`], including trait objects.
+pub trait SystemExt: System {
+    /// Reads one scalar.
+    fn read<T: Scalar>(&self, addr: usize) -> T {
+        let mut buf = [0u8; 16];
+        let b = &mut buf[..T::BYTES];
+        self.read_bytes(addr, b);
+        T::from_le(b)
+    }
+
+    /// Writes one scalar.
+    fn write<T: Scalar>(&self, addr: usize, v: T) {
+        let mut buf = [0u8; 16];
+        let b = &mut buf[..T::BYTES];
+        v.to_le(b);
+        self.write_bytes(addr, b);
+    }
+}
+
+impl<S: System + ?Sized> SystemExt for S {}
+
+/// Pre-parallel initialization sink: the master writes initial shared data
+/// through this before processors start (PARMACS programs initialize in the
+/// sequential prologue).
+pub trait InitWriter {
+    /// Writes initial bytes at `addr`.
+    fn write_init(&mut self, addr: usize, bytes: &[u8]);
+}
+
+/// Typed convenience for any [`InitWriter`], including trait objects.
+pub trait InitExt: InitWriter {
+    /// Writes one initial scalar.
+    fn init<T: Scalar>(&mut self, addr: usize, v: T) {
+        let mut buf = [0u8; 16];
+        let b = &mut buf[..T::BYTES];
+        v.to_le(b);
+        self.write_init(addr, b);
+    }
+}
+
+impl<W: InitWriter + ?Sized> InitExt for W {}
+
+/// Fixed-size little-endian scalars storable in shared memory.
+pub trait Scalar: Copy {
+    /// Encoded size in bytes (at most 16).
+    const BYTES: usize;
+    /// Serializes into `out` (`out.len() == Self::BYTES`).
+    fn to_le(self, out: &mut [u8]);
+    /// Deserializes from `inp` (`inp.len() == Self::BYTES`).
+    fn from_le(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            fn to_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            fn from_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp.try_into().expect("scalar width"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// A typed view of a shared-memory array.
+#[derive(Debug)]
+pub struct SharedSlice<T> {
+    addr: usize,
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Derive would put bounds on T; a SharedSlice is always Copy/Clone.
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedSlice<T> {}
+
+impl<T: Scalar> SharedSlice<T> {
+    /// Views `len` elements at byte address `addr`.
+    pub fn new(addr: usize, len: usize) -> Self {
+        SharedSlice {
+            addr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base byte address.
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn addr_of(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.addr + i * T::BYTES
+    }
+
+    /// Reads element `i`.
+    pub fn get<S: System + ?Sized>(&self, sys: &S, i: usize) -> T {
+        sys.read(self.addr_of(i))
+    }
+
+    /// Writes element `i`.
+    pub fn set<S: System + ?Sized>(&self, sys: &S, i: usize, v: T) {
+        sys.write(self.addr_of(i), v)
+    }
+
+    /// Reads `out.len()` elements starting at `i` in one ranged access.
+    pub fn read_range<S: System + ?Sized>(&self, sys: &S, i: usize, out: &mut [T]) {
+        assert!(i + out.len() <= self.len);
+        let mut bytes = vec![0u8; out.len() * T::BYTES];
+        sys.read_bytes(self.addr + i * T::BYTES, &mut bytes);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = T::from_le(&bytes[k * T::BYTES..(k + 1) * T::BYTES]);
+        }
+    }
+
+    /// Writes `vals` starting at `i` in one ranged access.
+    pub fn write_range<S: System + ?Sized>(&self, sys: &S, i: usize, vals: &[T]) {
+        assert!(i + vals.len() <= self.len);
+        let mut bytes = vec![0u8; vals.len() * T::BYTES];
+        for (k, v) in vals.iter().enumerate() {
+            v.to_le(&mut bytes[k * T::BYTES..(k + 1) * T::BYTES]);
+        }
+        sys.write_bytes(self.addr + i * T::BYTES, &bytes);
+    }
+
+    /// Initializes elements `[i, i+vals.len())` on the master.
+    pub fn init_range<W: InitWriter + ?Sized>(&self, w: &mut W, i: usize, vals: &[T]) {
+        assert!(i + vals.len() <= self.len);
+        let mut bytes = vec![0u8; vals.len() * T::BYTES];
+        for (k, v) in vals.iter().enumerate() {
+            v.to_le(&mut bytes[k * T::BYTES..(k + 1) * T::BYTES]);
+        }
+        w.write_init(self.addr + i * T::BYTES, &bytes);
+    }
+}
+
+/// Bump allocator for laying out shared data structures.
+#[derive(Debug, Clone)]
+pub struct Alloc {
+    next: usize,
+    limit: usize,
+}
+
+impl Alloc {
+    /// An allocator over a `limit`-byte shared segment.
+    pub fn new(limit: usize) -> Self {
+        Alloc { next: 0, limit }
+    }
+
+    /// Allocates raw bytes with alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the segment is exhausted or `align` is not a power of
+    /// two.
+    pub fn bytes(&mut self, len: usize, align: usize) -> usize {
+        assert!(align.is_power_of_two());
+        let addr = (self.next + align - 1) & !(align - 1);
+        assert!(
+            addr + len <= self.limit,
+            "shared segment exhausted: need {len}B at {addr}, limit {}",
+            self.limit
+        );
+        self.next = addr + len;
+        addr
+    }
+
+    /// Allocates a typed array (naturally aligned).
+    pub fn slice<T: Scalar>(&mut self, len: usize) -> SharedSlice<T> {
+        let addr = self.bytes(len * T::BYTES, T::BYTES.max(1));
+        SharedSlice::new(addr, len)
+    }
+
+    /// Allocates a typed array starting on a fresh boundary of `align`
+    /// bytes — used to give each processor's partition its own pages.
+    pub fn slice_aligned<T: Scalar>(&mut self, len: usize, align: usize) -> SharedSlice<T> {
+        let addr = self.bytes(len * T::BYTES, align);
+        SharedSlice::new(addr, len)
+    }
+
+    /// Bytes consumed so far.
+    pub fn used(&self) -> usize {
+        self.next
+    }
+}
+
+/// A complete parallel application in the PARMACS style: a shared-memory
+/// layout, a sequential master initialization, and an SPMD body.
+///
+/// Workloads are machine-independent; `tmk-machines::run_workload` executes
+/// them on any platform. The body returns a per-processor checksum so
+/// cross-platform runs can validate that every shared-memory implementation
+/// computed the same answer.
+pub trait Workload: Sync {
+    /// Shared-layout handle produced by [`plan`](Self::plan) (addresses of
+    /// the allocated structures).
+    type Plan: Send + Sync;
+
+    /// Shared segment size this workload needs, in bytes.
+    fn segment_bytes(&self) -> usize;
+
+    /// Lays out shared data.
+    fn plan(&self, alloc: &mut Alloc) -> Self::Plan;
+
+    /// Master initialization, run before the parallel phase.
+    fn init(&self, plan: &Self::Plan, w: &mut dyn InitWriter);
+
+    /// The SPMD body; returns this processor's checksum contribution.
+    fn body(&self, sys: &dyn System, plan: &Self::Plan) -> f64;
+}
+
+/// A trivial single-"processor" `System` over a plain byte vector: the
+/// sequential reference implementation used by app unit tests and
+/// correctness oracles.
+#[derive(Debug)]
+pub struct SequentialSystem {
+    mem: std::cell::RefCell<Vec<u8>>,
+}
+
+impl SequentialSystem {
+    /// A sequential system with `bytes` of zeroed shared memory.
+    pub fn new(bytes: usize) -> Self {
+        SequentialSystem {
+            mem: std::cell::RefCell::new(vec![0; bytes]),
+        }
+    }
+}
+
+impl System for SequentialSystem {
+    fn nprocs(&self) -> usize {
+        1
+    }
+    fn pid(&self) -> usize {
+        0
+    }
+    fn read_bytes(&self, addr: usize, buf: &mut [u8]) {
+        let mem = self.mem.borrow();
+        buf.copy_from_slice(&mem[addr..addr + buf.len()]);
+    }
+    fn write_bytes(&self, addr: usize, data: &[u8]) {
+        let mut mem = self.mem.borrow_mut();
+        mem[addr..addr + data.len()].copy_from_slice(data);
+    }
+    fn lock(&self, _lock: usize) {}
+    fn unlock(&self, _lock: usize) {}
+    fn barrier(&self, _barrier: usize) {}
+    fn compute(&self, _cycles: Cycle) {}
+}
+
+impl InitWriter for SequentialSystem {
+    fn write_init(&mut self, addr: usize, bytes: &[u8]) {
+        self.write_bytes(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let sys = SequentialSystem::new(64);
+        sys.write(0, 3.5f64);
+        sys.write(8, -7i32);
+        sys.write(12, 250u8);
+        assert_eq!(sys.read::<f64>(0), 3.5);
+        assert_eq!(sys.read::<i32>(8), -7);
+        assert_eq!(sys.read::<u8>(12), 250);
+    }
+
+    #[test]
+    fn shared_slice_ranges() {
+        let sys = SequentialSystem::new(256);
+        let s: SharedSlice<f64> = SharedSlice::new(16, 10);
+        s.write_range(&sys, 2, &[1.0, 2.0, 3.0]);
+        let mut out = [0.0; 3];
+        s.read_range(&sys, 2, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(s.get(&sys, 3), 2.0);
+        assert_eq!(s.addr_of(2), 32);
+    }
+
+    #[test]
+    fn alloc_alignment_and_exhaustion() {
+        let mut a = Alloc::new(64);
+        let x = a.bytes(3, 1);
+        assert_eq!(x, 0);
+        let y = a.bytes(8, 8);
+        assert_eq!(y, 8);
+        let s: SharedSlice<u32> = a.slice(4);
+        assert_eq!(s.addr() % 4, 0);
+        assert!(std::panic::catch_unwind(move || {
+            let mut a = a;
+            a.bytes(1000, 1)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn aligned_slice_starts_on_boundary() {
+        let mut a = Alloc::new(65536);
+        let _pad: SharedSlice<u8> = a.slice(10);
+        let s: SharedSlice<f64> = a.slice_aligned(8, 4096);
+        assert_eq!(s.addr() % 4096, 0);
+    }
+
+    #[test]
+    fn init_writer_roundtrip() {
+        let mut sys = SequentialSystem::new(64);
+        let s: SharedSlice<u64> = SharedSlice::new(0, 4);
+        s.init_range(&mut sys, 1, &[10, 20]);
+        assert_eq!(s.get(&sys, 1), 10);
+        assert_eq!(s.get(&sys, 2), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn addr_of_bounds_checked() {
+        let s: SharedSlice<u64> = SharedSlice::new(0, 2);
+        s.addr_of(2);
+    }
+}

@@ -1,0 +1,650 @@
+//! The conservative execution-driven engine.
+//!
+//! See the crate-level docs for the execution model. The implementation keeps
+//! all shared state — the user's machine model plus the scheduler core —
+//! under one mutex, with one condition variable per simulated processor for
+//! targeted wakeups.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::Cycle;
+
+/// A deterministic multiprocessor simulation.
+///
+/// `M` is the *machine model*: caches, buses, networks, protocol state,
+/// statistics — anything the simulated processors share. The engine
+/// guarantees that closures passed to [`Ctx::sync`] observe `M` in
+/// simulated-time order.
+pub struct Engine<M> {
+    inner: Arc<Inner<M>>,
+    nprocs: usize,
+}
+
+/// Per-processor handle passed to each simulated processor's body.
+///
+/// Cloning is not offered: one `Ctx` per processor, used from that
+/// processor's thread only.
+pub struct Ctx<'e, M> {
+    inner: &'e Inner<M>,
+    id: usize,
+    nprocs: usize,
+}
+
+/// Exclusive view of the machine and scheduler during a [`Ctx::sync`]
+/// operation.
+pub struct Op<'a, M> {
+    state: &'a mut State<M>,
+    id: usize,
+    nprocs: usize,
+    block: bool,
+}
+
+/// The outcome of [`Engine::run`]: the machine model plus final clocks.
+#[derive(Debug)]
+pub struct RunResult<M> {
+    /// The machine model, with whatever statistics it accumulated.
+    pub machine: M,
+    /// Final per-processor clocks, in cycles.
+    pub clocks: Vec<Cycle>,
+    /// `(pid, clock)` at each sync-op start, when the `TMK_ENGINE_TRACE`
+    /// environment variable was set at engine creation (else empty).
+    pub op_trace: Vec<(usize, Cycle)>,
+}
+
+impl<M> RunResult<M> {
+    /// Total simulated execution time: the clock of the slowest processor.
+    pub fn time(&self) -> Cycle {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+struct Inner<M> {
+    state: Mutex<State<M>>,
+    cvs: Box<[Condvar]>,
+}
+
+struct State<M> {
+    machine: M,
+    sched: Sched,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Runnable: either executing local code or waiting for its sync turn.
+    Ready,
+    /// Waiting to be woken by another processor via [`Op::wake_at`].
+    Blocked,
+    /// Body returned.
+    Finished,
+}
+
+struct Sched {
+    /// Optional (pid, clock-at-op-start) trace, for debugging determinism.
+    trace: Option<Vec<(usize, Cycle)>>,
+    clocks: Vec<Cycle>,
+    /// Cycles charged to a processor by remote request handlers, folded into
+    /// its clock at its next scheduling point.
+    stolen: Vec<Cycle>,
+    status: Vec<Status>,
+    /// Processors parked inside `sync` waiting for their turn.
+    waiting_turn: Vec<bool>,
+    /// A processor is currently executing a sync operation.
+    op_active: bool,
+    poisoned: bool,
+}
+
+impl Sched {
+    fn new(n: usize) -> Self {
+        Sched {
+            trace: std::env::var_os("TMK_ENGINE_TRACE").map(|_| Vec::new()),
+            clocks: vec![0; n],
+            stolen: vec![0; n],
+            status: vec![Status::Ready; n],
+            waiting_turn: vec![false; n],
+            op_active: false,
+            poisoned: false,
+        }
+    }
+
+    fn eff_clock(&self, p: usize) -> Cycle {
+        self.clocks[p] + self.stolen[p]
+    }
+
+    fn apply_stolen(&mut self, p: usize) {
+        self.clocks[p] += self.stolen[p];
+        self.stolen[p] = 0;
+    }
+
+    /// The processor that should execute the next sync operation: the Ready
+    /// processor with the minimum effective clock (ties broken by id).
+    /// Returns `None` when no processor is Ready.
+    fn min_ready(&self) -> Option<usize> {
+        let mut best: Option<(Cycle, usize)> = None;
+        for p in 0..self.clocks.len() {
+            if self.status[p] == Status::Ready {
+                let c = self.eff_clock(p);
+                if best.is_none_or(|(bc, bp)| c < bc || (c == bc && p < bp)) {
+                    best = Some((c, p));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// May processor `p` execute a sync operation right now?
+    fn is_turn(&self, p: usize) -> bool {
+        !self.op_active && self.min_ready() == Some(p)
+    }
+
+    fn all_done(&self) -> bool {
+        self.status.iter().all(|&s| s == Status::Finished)
+    }
+}
+
+impl<M: Send> Engine<M> {
+    /// Creates an engine simulating `nprocs` processors sharing `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero.
+    pub fn new(machine: M, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "a simulation needs at least one processor");
+        let cvs = (0..nprocs).map(|_| Condvar::new()).collect();
+        Engine {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    machine,
+                    sched: Sched::new(nprocs),
+                }),
+                cvs,
+            }),
+            nprocs,
+        }
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Runs `body` SPMD-style on every simulated processor and returns the
+    /// machine plus final clocks once all bodies have returned.
+    ///
+    /// # Panics
+    ///
+    /// If any body panics the simulation is poisoned, all other processors
+    /// are unwound, and the first panic is propagated.
+    pub fn run<F>(self, body: F) -> RunResult<M>
+    where
+        F: Fn(&Ctx<'_, M>) + Send + Sync,
+    {
+        let nprocs = self.nprocs;
+        let inner = &*self.inner;
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for id in 0..nprocs {
+                let ctx = Ctx { inner, id, nprocs };
+                let body = &body;
+                let first_panic = &first_panic;
+                scope.spawn(move || {
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                    let mut st = ctx.inner.state.lock();
+                    st.sched.apply_stolen(id);
+                    st.sched.status[id] = Status::Finished;
+                    if let Err(payload) = outcome {
+                        st.sched.poisoned = true;
+                        let mut slot = first_panic.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        // Wake everyone so they can observe the poison.
+                        for cv in ctx.inner.cvs.iter() {
+                            cv.notify_all();
+                        }
+                    } else {
+                        ctx.inner.notify_next(&st.sched);
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = first_panic.into_inner() {
+            panic::resume_unwind(payload);
+        }
+
+        let inner = Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| unreachable!("all processor threads have exited"));
+        let state = inner.state.into_inner();
+        debug_assert!(state.sched.all_done());
+        RunResult {
+            machine: state.machine,
+            clocks: state.sched.clocks,
+            op_trace: state.sched.trace.unwrap_or_default(),
+        }
+    }
+}
+
+impl<M> Inner<M> {
+    /// After scheduler state changed, wake the processor (if any) whose turn
+    /// it now is, provided it is parked waiting for that turn. Also detects
+    /// lost-wakeup deadlocks.
+    fn notify_next(&self, sched: &Sched) {
+        match sched.min_ready() {
+            Some(p) => {
+                if !sched.op_active && sched.waiting_turn[p] {
+                    self.cvs[p].notify_one();
+                }
+            }
+            None => {
+                // No Ready processors. Fine if everyone finished; a machine
+                // bug (lost wakeup) if someone is still Blocked.
+                if !sched.poisoned
+                    && sched.status.contains(&Status::Blocked)
+                    && !sched.status.contains(&Status::Ready)
+                {
+                    panic!(
+                        "simulation deadlock: all live processors are blocked \
+                         (machine model lost a wakeup)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl<'e, M> Ctx<'e, M> {
+    /// This processor's id, in `0..nprocs`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Charges `cycles` of purely local computation to this processor.
+    ///
+    /// Local time advances without waiting for other processors; ordering is
+    /// only enforced for [`sync`](Self::sync) operations.
+    pub fn advance(&self, cycles: Cycle) {
+        let mut st = self.inner.state.lock();
+        let sched = &mut st.sched;
+        sched.apply_stolen(self.id);
+        sched.clocks[self.id] += cycles;
+        // Our clock moving forward may have made another processor the
+        // minimum; hand the turn over if it is parked.
+        self.inner.notify_next(sched);
+    }
+
+    /// Current local clock (effective, including pending stolen cycles).
+    pub fn now(&self) -> Cycle {
+        let st = self.inner.state.lock();
+        st.sched.eff_clock(self.id)
+    }
+
+    /// Executes a globally ordered operation against the machine model.
+    ///
+    /// The closure runs when this processor holds the minimum effective
+    /// clock among runnable processors, with exclusive access to the machine.
+    /// If the closure calls [`Op::block`], this processor parks after the
+    /// closure returns and `sync` only returns once another processor wakes
+    /// it via [`Op::wake_at`]; callers typically loop, re-examining machine
+    /// state on each iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation was poisoned by a panic on another
+    /// processor. Must not be called reentrantly from inside an `Op` closure
+    /// (the engine would deadlock on its own mutex).
+    pub fn sync<R>(&self, f: impl FnOnce(&mut Op<'_, M>) -> R) -> R {
+        let mut st = self.inner.state.lock();
+        st.sched.apply_stolen(self.id);
+
+        // Wait for our turn.
+        st.sched.waiting_turn[self.id] = true;
+        while !st.sched.is_turn(self.id) {
+            if st.sched.poisoned {
+                st.sched.waiting_turn[self.id] = false;
+                panic!("simulation poisoned by a panic on another processor");
+            }
+            self.inner.cvs[self.id].wait(&mut st);
+        }
+        st.sched.waiting_turn[self.id] = false;
+        st.sched.op_active = true;
+        // Stolen cycles may have arrived while we waited for the turn;
+        // fold them in so the operation's start time is the effective
+        // clock regardless of wall-clock arrival order (determinism).
+        st.sched.apply_stolen(self.id);
+        let clock_now = st.sched.clocks[self.id];
+        if let Some(trace) = st.sched.trace.as_mut() {
+            trace.push((self.id, clock_now));
+        }
+
+        let mut op = Op {
+            state: &mut st,
+            id: self.id,
+            nprocs: self.nprocs,
+            block: false,
+        };
+        let result = f(&mut op);
+        let block = op.block;
+
+        st.sched.op_active = false;
+        if block {
+            st.sched.status[self.id] = Status::Blocked;
+            self.inner.notify_next(&st.sched);
+            while st.sched.status[self.id] == Status::Blocked {
+                if st.sched.poisoned {
+                    panic!("simulation poisoned by a panic on another processor");
+                }
+                self.inner.cvs[self.id].wait(&mut st);
+            }
+            st.sched.apply_stolen(self.id);
+        } else {
+            self.inner.notify_next(&st.sched);
+        }
+        result
+    }
+}
+
+impl<'a, M> Op<'a, M> {
+    /// The processor executing this operation.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Exclusive access to the machine model.
+    pub fn machine(&mut self) -> &mut M {
+        &mut self.state.machine
+    }
+
+    /// This processor's clock.
+    pub fn now(&self) -> Cycle {
+        self.state.sched.clocks[self.id]
+    }
+
+    /// Charges `cycles` to this processor as part of the operation.
+    pub fn advance(&mut self, cycles: Cycle) {
+        self.state.sched.clocks[self.id] += cycles;
+    }
+
+    /// Effective clock of an arbitrary processor (for latency computations
+    /// that depend on when a remote node can service a request).
+    pub fn clock_of(&self, pid: usize) -> Cycle {
+        self.state.sched.eff_clock(pid)
+    }
+
+    /// Charges `cycles` of request-servicing overhead to a remote processor.
+    ///
+    /// The cycles are folded into `pid`'s clock at its next scheduling point
+    /// — the standard execution-driven approximation for asynchronous
+    /// message handlers stealing time from the computation.
+    pub fn charge_remote(&mut self, pid: usize, cycles: Cycle) {
+        if pid == self.id {
+            self.advance(cycles);
+        } else {
+            self.state.sched.stolen[pid] += cycles;
+        }
+    }
+
+    /// Parks this processor after the closure returns; see [`Ctx::sync`].
+    pub fn block(&mut self) {
+        self.block = true;
+    }
+
+    /// Wakes a processor blocked via [`Op::block`], setting its clock to at
+    /// least `at` (e.g. the simulated time a lock grant or barrier release
+    /// message arrives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not currently blocked — that is a machine-model
+    /// bug (waking a runnable processor would corrupt its clock).
+    pub fn wake_at(&mut self, pid: usize, at: Cycle) {
+        let sched = &mut self.state.sched;
+        assert!(
+            sched.status[pid] == Status::Blocked,
+            "wake_at({pid}): processor is not blocked"
+        );
+        sched.apply_stolen(pid);
+        sched.clocks[pid] = sched.clocks[pid].max(at);
+        sched.status[pid] = Status::Ready;
+        sched.waiting_turn[pid] = true; // it is parked inside `sync`
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn single_proc_advances() {
+        let engine = Engine::new((), 1);
+        let r = engine.run(|ctx| {
+            ctx.advance(100);
+            ctx.sync(|op| op.advance(10));
+        });
+        assert_eq!(r.time(), 110);
+    }
+
+    #[test]
+    fn ops_execute_in_clock_order() {
+        struct Log(Vec<(usize, Cycle)>);
+        let engine = Engine::new(Log(Vec::new()), 4);
+        let r = engine.run(|ctx| {
+            // Give each processor a distinct clock, then record op order.
+            ctx.advance(10 * (4 - ctx.id() as Cycle));
+            ctx.sync(|op| {
+                let t = op.now();
+                let id = op.id();
+                op.machine().0.push((id, t));
+            });
+        });
+        let order: Vec<usize> = r.machine.0.iter().map(|&(p, _)| p).collect();
+        assert_eq!(order, vec![3, 2, 1, 0]);
+        let times: Vec<Cycle> = r.machine.0.iter().map(|&(_, t)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ties_break_by_processor_id() {
+        struct Log(Vec<usize>);
+        let engine = Engine::new(Log(Vec::new()), 3);
+        let r = engine.run(|ctx| {
+            ctx.sync(|op| {
+                let id = op.id();
+                op.machine().0.push(id);
+            });
+        });
+        assert_eq!(r.machine.0, vec![0, 1, 2]);
+    }
+
+    /// A tiny spin-free lock implemented with block/wake, the pattern the
+    /// machine crates use.
+    #[derive(Default)]
+    struct TestLock {
+        held: bool,
+        queue: VecDeque<usize>,
+        acquisitions: Vec<usize>,
+    }
+
+    fn lock(ctx: &Ctx<'_, TestLock>) {
+        loop {
+            let got = ctx.sync(|op| {
+                let me = op.id();
+                let now = op.now();
+                let m = op.machine();
+                if !m.held {
+                    m.held = true;
+                    m.acquisitions.push(me);
+                    true
+                } else {
+                    m.queue.push_back(me);
+                    let _ = now;
+                    op.block();
+                    false
+                }
+            });
+            if got {
+                return;
+            }
+        }
+    }
+
+    fn unlock(ctx: &Ctx<'_, TestLock>) {
+        ctx.sync(|op| {
+            let now = op.now();
+            let next = {
+                let m = op.machine();
+                m.held = false;
+                m.queue.pop_front()
+            };
+            if let Some(p) = next {
+                op.wake_at(p, now + 5);
+            }
+        });
+    }
+
+    #[test]
+    fn block_wake_lock_is_fifo_in_time_order() {
+        let engine = Engine::new(TestLock::default(), 4);
+        let r = engine.run(|ctx| {
+            ctx.advance(ctx.id() as Cycle); // stagger arrival
+            lock(ctx);
+            ctx.advance(100); // hold for a while
+            unlock(ctx);
+        });
+        assert_eq!(r.machine.acquisitions, vec![0, 1, 2, 3]);
+        // Each holder kept the lock for 100 cycles plus 5 cycles grant
+        // latency; the last acquirer finishes around 3*105.
+        assert!(r.time() >= 300);
+    }
+
+    #[test]
+    fn stolen_cycles_are_charged() {
+        let engine = Engine::new((), 2);
+        let r = engine.run(|ctx| {
+            if ctx.id() == 0 {
+                // Runs first (clock 0 < 10): steal 500 cycles from proc 1.
+                ctx.sync(|op| op.charge_remote(1, 500));
+            } else {
+                ctx.advance(10);
+                // Waits for proc 0's op, then folds the stolen cycles in.
+                ctx.sync(|_| ());
+            }
+        });
+        assert_eq!(r.clocks[1], 510);
+    }
+
+    #[test]
+    fn stolen_cycles_fold_in_before_an_op_starts() {
+        // B waits for its turn while A (the min-clock processor) steals
+        // cycles from it; B's operation must start at its effective clock.
+        let engine = Engine::new((), 2);
+        let r = engine.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.sync(|op| {
+                    op.charge_remote(1, 700);
+                    op.advance(2000); // move past B so B runs next
+                });
+            } else {
+                ctx.advance(100);
+                let started_at = ctx.sync(|op| op.now());
+                assert_eq!(started_at, 800, "op starts at clock + stolen");
+            }
+        });
+        assert_eq!(r.clocks[1], 800);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let engine = Engine::new(TestLock::default(), 8);
+            let r = engine.run(|ctx| {
+                for _ in 0..50 {
+                    ctx.advance((ctx.id() as Cycle * 7) % 13 + 1);
+                    lock(ctx);
+                    ctx.advance(3);
+                    unlock(ctx);
+                }
+            });
+            (r.machine.acquisitions.clone(), r.clocks.clone())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_procs_are_excluded_from_the_minimum() {
+        // A blocked processor's frozen clock must not gate others.
+        let engine = Engine::new(TestLock::default(), 3);
+        let r = engine.run(|ctx| {
+            match ctx.id() {
+                0 => {
+                    lock(ctx); // holds the lock first (clock 0)
+                    ctx.advance(1_000);
+                    unlock(ctx);
+                }
+                1 => {
+                    ctx.advance(1); // arrives second
+                    lock(ctx); // blocks at clock 1 while 0 works
+                    unlock(ctx);
+                }
+                _ => {
+                    // Must be able to run ops while 1 is blocked at clock 1.
+                    ctx.advance(10);
+                    ctx.sync(|op| op.advance(5));
+                }
+            }
+        });
+        assert!(r.clocks[2] < r.clocks[0]);
+    }
+
+    #[test]
+    fn wake_at_never_moves_clocks_backwards() {
+        let engine = Engine::new(TestLock::default(), 2);
+        let r = engine.run(|ctx| {
+            if ctx.id() == 0 {
+                lock(ctx);
+                ctx.advance(10);
+                unlock(ctx); // grant at ~15, but proc 1 blocked at 500
+            } else {
+                ctx.advance(500);
+                lock(ctx);
+                unlock(ctx);
+            }
+        });
+        assert!(r.clocks[1] >= 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Engine::new((), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let engine = Engine::new((), 2);
+        engine.run(|ctx| {
+            if ctx.id() == 1 {
+                panic!("boom");
+            }
+            // Processor 0 parks forever; the poison must unwind it.
+            ctx.sync(|op| op.block());
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! Small statistics helpers shared by the machine models.
+
+use crate::Cycle;
+
+/// Running mean/min/max/count accumulator for latency-style samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Samples {
+    count: u64,
+    sum: u128,
+    min: Cycle,
+    max: Cycle,
+}
+
+impl Samples {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: Cycle) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Power-of-two bucketed histogram for cycle counts (bucket `i` holds values
+/// in `[2^i, 2^(i+1))`, bucket 0 holds 0 and 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: Cycle) {
+        let idx = (64 - value.leading_zeros()).saturating_sub(1) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// `(lower_bound, count)` for each non-empty bucket, in ascending order.
+    pub fn buckets(&self) -> impl Iterator<Item = (Cycle, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_basics() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), None);
+        s.record(10);
+        s.record(30);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn samples_merge() {
+        let mut a = Samples::new();
+        a.record(5);
+        let mut b = Samples::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(25));
+        let mut empty = Samples::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&Samples::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.total(), 5);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (1024, 1)]);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's headline result in one example: red-black SOR on a
+//! software DSM cluster versus a bus-based hardware multiprocessor.
+//!
+//! Runs the same PARMACS program on the simulated TreadMarks/ATM cluster
+//! and the simulated SGI 4D/480 at 1, 4 and 8 processors, and prints
+//! execution times, speedups, and where the bytes went. For the large
+//! grid the software DSM *wins* — the ATM giveseach node a private path to
+//! memory while the bus saturates, and diffs move only the words that
+//! changed.
+//!
+//! Run with: `cargo run --release --example sor_showdown`
+
+use tmk::apps::sor::Sor;
+use tmk::machines::{run_workload, Platform};
+
+fn main() {
+    let w = Sor::small(); // 1024x1024: a quick but meaningful grid
+    println!(
+        "Red-black SOR, {}x{} ({} iterations)\n",
+        w.rows, w.cols, w.iters
+    );
+
+    let dec = run_workload(&Platform::Dec, &w).report.window_seconds();
+    println!("DECstation-5000/240 uniprocessor: {dec:.2} simulated seconds\n");
+
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>12}",
+        "procs", "TreadMarks (s)", "SGI 4D/480 (s)", "TMK speedup", "SGI speedup"
+    );
+    let sgi1 = run_workload(&Platform::Sgi { procs: 1 }, &w)
+        .report
+        .window_seconds();
+    for procs in [1usize, 4, 8] {
+        let tmk = run_workload(&Platform::treadmarks(procs), &w);
+        let sgi = run_workload(&Platform::Sgi { procs }, &w);
+        let ts = tmk.report.window_seconds();
+        let ss = sgi.report.window_seconds();
+        println!(
+            "{procs:>6} {ts:>16.2} {ss:>16.2} {:>14.2} {:>12.2}",
+            dec / ts,
+            sgi1 / ss,
+        );
+        if procs == 8 {
+            let t = tmk.report.window_traffic();
+            println!(
+                "\nTreadMarks at 8 processors moved {} KB in {} messages:",
+                t.total_bytes() / 1024,
+                t.total_msgs()
+            );
+            println!(
+                "  miss data {} KB, consistency data {} KB, headers {} KB",
+                t.miss_bytes / 1024,
+                t.consistency_bytes / 1024,
+                t.header_bytes / 1024
+            );
+            println!(
+                "  ({} diffs created, {} full pages, {} twins)",
+                tmk.report.dsm.diffs_created,
+                tmk.report.dsm.full_page_fetches,
+                tmk.report.dsm.twins_created
+            );
+            let bus = sgi.report.bus.expect("SGI has a bus");
+            println!(
+                "the SGI bus carried {} KB and was busy {}% of the run",
+                bus.data_bytes / 1024,
+                100 * bus.busy_cycles / sgi.report.cycles.max(1)
+            );
+        }
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the ISCA'94 reproduction into
+# results/ (see EXPERIMENTS.md for the paper-vs-measured discussion).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+for b in table1 table2 fig01_08 fig09_11 fig12_13 fig14_16 ablations; do
+  echo "== $b"
+  cargo run --release -q -p tmk-bench --bin "$b" | tee "results/$b.txt"
+done

@@ -1,0 +1,25 @@
+//! `tmk` — a reproduction of *Software Versus Hardware Shared-Memory
+//! Implementation: A Case Study* (Cox, Dwarkadas, Keleher, Lu, Rajamony,
+//! Zwaenepoel; ISCA 1994).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`dsm`] — the TreadMarks-style lazy-release-consistency DSM protocol
+//!   and its in-process multi-threaded runtime (the paper's software side).
+//! * [`sim`] — the deterministic execution-driven simulation engine.
+//! * [`mem`] — cache, snooping-bus and directory coherence models.
+//! * [`net`] — ATM LAN / crossbar network and software-overhead models.
+//! * [`parmacs`] — the PARMACS-like parallel programming interface.
+//! * [`machines`] — the five assembled platforms (DEC, SGI 4D/480-like,
+//!   AS, AH, HS).
+//! * [`apps`] — the application suite (SOR, TSP, Water, M-Water, ILINK).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment index.
+
+pub use tmk_apps as apps;
+pub use tmk_core as dsm;
+pub use tmk_machines as machines;
+pub use tmk_mem as mem;
+pub use tmk_net as net;
+pub use tmk_parmacs as parmacs;
+pub use tmk_sim as sim;

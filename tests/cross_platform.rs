@@ -1,0 +1,148 @@
+//! The case study's core premise: the same PARMACS program computes the
+//! same answer on every shared-memory implementation. These tests run each
+//! application, at reduced size, on all five platforms and compare
+//! checksums (tolerating float reassociation across band partitionings).
+
+use tmk::apps::{ilink, sor, tsp, water};
+use tmk::machines::{run_workload, Platform};
+use tmk::parmacs::Workload;
+
+fn platforms(procs: usize) -> Vec<Platform> {
+    vec![
+        Platform::Sgi { procs: procs.min(8) },
+        Platform::treadmarks(procs.min(8)),
+        Platform::as_sim(procs),
+        Platform::Ah { procs },
+        Platform::hs_sim(procs.div_ceil(4), 4),
+    ]
+}
+
+fn total<W: Workload>(platform: &Platform, w: &W) -> f64 {
+    let out = run_workload(platform, w);
+    out.results.into_iter().sum()
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= tol,
+        "{what}: {a} vs {b} (tolerance {tol})"
+    );
+}
+
+#[test]
+fn sor_agrees_everywhere() {
+    let cfg = sor::Sor::tiny();
+    let reference = total(&Platform::Dec, &cfg);
+    assert!(reference.is_finite());
+    for p in platforms(8) {
+        let v = total(&p, &cfg);
+        // Red-black SOR is partition-independent: results are equal up to
+        // the final summation order.
+        assert_close(v, reference, p.name());
+    }
+}
+
+#[test]
+fn tsp_finds_the_optimum_everywhere() {
+    let cfg = tsp::Tsp::new(9);
+    let optimal = f64::from(cfg.optimal());
+    for p in platforms(8) {
+        let out = run_workload(&p, &cfg);
+        for (pid, v) in out.results.iter().enumerate() {
+            assert_eq!(*v, optimal, "{} proc {pid}", p.name());
+        }
+    }
+}
+
+#[test]
+fn tsp_eager_release_same_answer() {
+    // 13 cities: the 2-opt initial bound is NOT optimal, so the bound lock
+    // is actually released with updates during the search.
+    let cfg = tsp::Tsp::new(13);
+    let optimal = f64::from(cfg.optimal());
+    assert!(cfg.greedy_bound() > cfg.optimal(), "instance must improve");
+    let platform = Platform::AsCluster {
+        procs: 4,
+        part1: true,
+        so: None,
+        tuning: tmk::machines::DsmTuning {
+            eager_locks: vec![tsp::BOUND_LOCK],
+            ..Default::default()
+        },
+    };
+    let out = run_workload(&platform, &cfg);
+    assert!(out.results.into_iter().all(|v| v == optimal));
+    assert!(
+        out.report.traffic.update_msgs > 0,
+        "eager release broadcasts updates"
+    );
+}
+
+#[test]
+fn water_agrees_everywhere() {
+    for mode in [water::WaterMode::Original, water::WaterMode::Modified] {
+        let cfg = water::Water::tiny(mode);
+        let reference = total(&Platform::Dec, &cfg);
+        for p in platforms(8) {
+            let v = total(&p, &cfg);
+            // Force accumulation order varies with partitioning; the
+            // physics is tiny-step, so agreement is tight but not exact.
+            let tol = 1e-6 * reference.abs();
+            assert!(
+                (v - reference).abs() < tol,
+                "{} ({mode:?}): {v} vs {reference}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ilink_agrees_at_fixed_proc_count() {
+    // ILINK's synthetic activity pattern depends on the partitioning, so
+    // compare platforms at the same processor count only.
+    let cfg = ilink::Ilink {
+        pedigree: ilink::Pedigree::tiny(),
+    };
+    let procs = 4;
+    let reference = total(&Platform::Sgi { procs }, &cfg);
+    for p in [
+        Platform::treadmarks(procs),
+        Platform::as_sim(procs),
+        Platform::Ah { procs },
+        Platform::hs_sim(2, 2),
+    ] {
+        let v = total(&p, &cfg);
+        assert_close(v, reference, p.name());
+    }
+}
+
+#[test]
+fn single_processor_platforms_agree_with_sequential() {
+    let cfg = sor::Sor::tiny();
+    let seq = sor::reference(&cfg);
+    for p in [
+        Platform::Dec,
+        Platform::Sgi { procs: 1 },
+        Platform::treadmarks(1),
+        Platform::Ah { procs: 1 },
+    ] {
+        assert_close(total(&p, &cfg), seq, p.name());
+    }
+}
+
+#[test]
+fn treadmarks_overhead_on_one_processor_is_negligible() {
+    // Table 1's observation: running under TreadMarks has almost no effect
+    // on single-processor execution time. Use a non-trivial grid so fixed
+    // startup costs (first-touch faults) do not dominate.
+    let cfg = sor::Sor::small();
+    let dec = run_workload(&Platform::Dec, &cfg).report.cycles;
+    let tmk1 = run_workload(&Platform::treadmarks(1), &cfg).report.cycles;
+    let ratio = tmk1 as f64 / dec as f64;
+    assert!(
+        (0.95..1.10).contains(&ratio),
+        "1-proc TreadMarks / DEC cycle ratio {ratio}"
+    );
+}

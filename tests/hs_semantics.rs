@@ -1,0 +1,139 @@
+//! Hybrid-machine (HS) semantics the paper calls out: intra-node sharing
+//! and synchronization need no messages; only inter-node activity touches
+//! the network; diff coalescing shrinks data movement versus AS.
+
+use tmk::apps::{sor, water};
+use tmk::machines::{run_on, run_workload, Platform};
+use tmk::parmacs::SharedSlice;
+
+fn hs(nodes: usize, per_node: usize) -> Platform {
+    Platform::hs_sim(nodes, per_node)
+}
+
+#[test]
+fn intra_node_lock_passing_needs_no_messages() {
+    // All processors on ONE node: the token never leaves, so a
+    // lock-protected counter generates zero network messages.
+    let out = run_on(
+        &hs(1, 8),
+        1 << 14,
+        |alloc| alloc.slice::<u64>(1),
+        |_, _| {},
+        |sys, counter: &SharedSlice<u64>| {
+            for _ in 0..20 {
+                sys.lock(3);
+                let v = counter.get(sys, 0);
+                counter.set(sys, 0, v + 1);
+                sys.unlock(3);
+            }
+            sys.barrier(0);
+            counter.get(sys, 0)
+        },
+    );
+    assert!(out.results.into_iter().all(|v| v == 160));
+    assert_eq!(out.report.traffic.total_msgs(), 0);
+}
+
+#[test]
+fn cross_node_locks_do_use_messages() {
+    let out = run_on(
+        &hs(2, 4),
+        1 << 14,
+        |alloc| alloc.slice::<u64>(1),
+        |_, _| {},
+        |sys, counter: &SharedSlice<u64>| {
+            for _ in 0..10 {
+                sys.lock(3);
+                let v = counter.get(sys, 0);
+                counter.set(sys, 0, v + 1);
+                sys.unlock(3);
+            }
+            sys.barrier(0);
+            counter.get(sys, 0)
+        },
+    );
+    assert!(out.results.into_iter().all(|v| v == 80));
+    assert!(out.report.traffic.lock_msgs > 0, "token must cross nodes");
+}
+
+#[test]
+fn hierarchical_barrier_sends_one_arrival_per_node() {
+    // 4 nodes x 4 procs, one barrier episode: 3 arrival messages reach the
+    // manager node and 3 departures leave it (the manager's own node is
+    // local). Each is (nodes - 1), not (procs - 1).
+    let out = run_on(
+        &hs(4, 4),
+        1 << 14,
+        |alloc| alloc.slice::<u64>(1),
+        |_, _| {},
+        |sys, _: &SharedSlice<u64>| sys.barrier(0),
+    );
+    let t = out.report.traffic;
+    assert_eq!(t.barrier_msgs, 6, "3 arrivals + 3 departures");
+}
+
+#[test]
+fn hs_moves_less_data_than_as_for_sor() {
+    // The paper's Figure 13: coalesced diffs and in-node neighbor sharing
+    // cut HS's data movement well below AS at equal processor counts.
+    let w = sor::Sor::tiny();
+    let as_t = run_workload(&Platform::as_sim(8), &w).report.traffic;
+    let hs_t = run_workload(&hs(2, 4), &w).report.traffic;
+    assert!(
+        hs_t.total_bytes() < as_t.total_bytes() / 2,
+        "HS {} bytes vs AS {} bytes",
+        hs_t.total_bytes(),
+        as_t.total_bytes()
+    );
+    assert!(hs_t.total_msgs() < as_t.total_msgs());
+}
+
+#[test]
+fn hs_beats_as_on_mwater_at_scale() {
+    // Figure 11's ordering at 16 processors: HS above AS.
+    let w = water::Water::tiny(water::WaterMode::Modified);
+    let as_s = run_workload(&Platform::as_sim(16), &w)
+        .report
+        .window_seconds();
+    let hs_s = run_workload(&hs(2, 8), &w).report.window_seconds();
+    assert!(hs_s < as_s, "HS {hs_s} should beat AS {as_s}");
+}
+
+#[test]
+fn many_nodes_chasing_one_token_stays_correct() {
+    // Regression: several nodes can have outstanding node-level acquires
+    // for the same lock at once; the pending-acquire guard must track
+    // (lock, node) pairs, not one node per lock.
+    let out = run_on(
+        &hs(4, 4),
+        1 << 14,
+        |alloc| alloc.slice::<u64>(1),
+        |_, _| {},
+        |sys, counter: &SharedSlice<u64>| {
+            for _ in 0..8 {
+                sys.lock(5);
+                let v = counter.get(sys, 0);
+                sys.compute(200);
+                counter.set(sys, 0, v + 1);
+                sys.unlock(5);
+            }
+            sys.barrier(0);
+            counter.get(sys, 0)
+        },
+    );
+    assert!(out.results.into_iter().all(|v| v == 16 * 8));
+}
+
+#[test]
+fn single_hs_node_equals_bus_machine_semantics() {
+    // One 8-processor HS node behaves like a small bus machine: coherent,
+    // no DSM traffic, bus statistics populated.
+    let w = sor::Sor::tiny();
+    let out = run_workload(&hs(1, 8), &w);
+    assert_eq!(out.report.traffic.total_msgs(), 0);
+    let bus = out.report.bus.expect("HS reports bus stats");
+    assert!(bus.transactions > 0);
+    let seq = sor::reference(&w);
+    let total: f64 = out.results.into_iter().sum();
+    assert!((total - seq).abs() < 1e-9 * seq.abs().max(1.0));
+}
