@@ -135,6 +135,23 @@ pub struct IlinkPlan {
 impl Workload for Ilink {
     type Plan = IlinkPlan;
 
+    fn name(&self) -> &'static str {
+        "ilink"
+    }
+
+    fn params(&self) -> String {
+        let p = &self.pedigree;
+        format!(
+            "pedigree={} genarray={} families={} iterations={} peer_every={} seed={}",
+            p.name,
+            p.genarray,
+            p.families.len(),
+            p.iterations,
+            p.peer_every,
+            p.seed
+        )
+    }
+
     fn segment_bytes(&self) -> usize {
         (self.pedigree.genarray * 8 + 8192).next_multiple_of(4096)
     }

@@ -90,6 +90,21 @@ pub struct SorPlan {
 impl Workload for Sor {
     type Plan = SorPlan;
 
+    fn name(&self) -> &'static str {
+        "sor"
+    }
+
+    fn params(&self) -> String {
+        let init = match self.init {
+            SorInit::EdgesOnly => "edges",
+            SorInit::AllChanging => "allchanging",
+        };
+        format!(
+            "rows={} cols={} iters={} init={init} cycles/pt={}",
+            self.rows, self.cols, self.iters, self.cycles_per_point
+        )
+    }
+
     fn segment_bytes(&self) -> usize {
         (self.rows * self.cols * 8 + 8192).next_multiple_of(4096)
     }

@@ -144,6 +144,17 @@ impl Tsp {
 impl Workload for Tsp {
     type Plan = TspPlan;
 
+    fn name(&self) -> &'static str {
+        "tsp"
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "cities={} seed={:#x} queue_depth={} cycles/node={}",
+            self.cities, self.seed, self.queue_depth, self.cycles_per_node
+        )
+    }
+
     fn segment_bytes(&self) -> usize {
         let q = self.capacity() * self.entry_words() * 4;
         let d = self.cities * self.cities * 4;

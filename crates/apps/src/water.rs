@@ -84,6 +84,20 @@ pub struct WaterPlan {
 impl Workload for Water {
     type Plan = WaterPlan;
 
+    fn name(&self) -> &'static str {
+        match self.mode {
+            WaterMode::Original => "water",
+            WaterMode::Modified => "mwater",
+        }
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "molecules={} steps={} cycles/pair={}",
+            self.molecules, self.steps, self.cycles_per_pair
+        )
+    }
+
     fn segment_bytes(&self) -> usize {
         (9 * self.molecules * 8 + 3 * 8192).next_multiple_of(4096)
     }

@@ -1,199 +1,6 @@
-//! Ablations: the paper's in-text experiments plus design-choice studies
-//! DESIGN.md calls out.
-//!
-//! * `tsp-eager` — §2.4.3: eager release on the TSP bound lock propagates
-//!   the bound early, cutting redundant work (paper: 6.6 → 7.0 vs 7.9).
-//! * `kernel-level` — §2.4.4: kernel-level TreadMarks halves per-message
-//!   fixed costs; M-Water improves substantially, SOR/TSP barely.
-//! * `sor-allchanging` — §2.4.2: with every point changing each iteration,
-//!   TreadMarks' diff advantage over the bus machine shrinks.
-//! * `hs-node-size` — HS with 2/4/8 processors per node at 32 processors.
-//! * `page-size` — AS sensitivity to 1K/4K/16K pages (M-Water).
-//! * `lrc-vs-ivy` — lazy release consistency vs an IVY-style
-//!   sequential-consistency DSM (the single-writer baseline).
-//! * `quantum` — determinism check: repeated runs give identical cycles.
-
-use tmk_apps::{sor, tsp, water};
-use tmk_machines::{run_workload, DsmProtocol, DsmTuning, Platform};
-use tmk_net::SoftwareOverhead;
-use tmk_parmacs::Workload;
-
-fn secs<W: Workload>(p: &Platform, w: &W) -> f64 {
-    run_workload(p, w).report.window_seconds()
-}
-
-fn tsp_eager() {
-    // An instance whose 2-opt initial bound is NOT optimal, so the shared
-    // bound is actually updated (and propagated) during the search.
-    let w = tsp::Tsp::new(14);
-    assert!(w.greedy_bound() > w.optimal());
-    let dec = secs(&Platform::Dec, &w);
-    let lazy = secs(&Platform::treadmarks(8), &w);
-    let eager = {
-        let p = Platform::AsCluster {
-            procs: 8,
-            part1: true,
-            so: None,
-            tuning: DsmTuning {
-                eager_locks: vec![tsp::BOUND_LOCK],
-                ..Default::default()
-            },
-        };
-        secs(&p, &w)
-    };
-    let sgi1 = secs(&Platform::Sgi { procs: 1 }, &w);
-    let sgi = secs(&Platform::Sgi { procs: 8 }, &w);
-    println!("TSP-14 at 8 processors (speedups; bound improves during search):");
-    println!("  TreadMarks lazy release:  {:.2}", dec / lazy);
-    println!("  TreadMarks eager bound:   {:.2}", dec / eager);
-    println!("  SGI 4D/480:               {:.2}", sgi1 / sgi);
-}
-
-fn kernel_level() {
-    println!("user-level vs kernel-level TreadMarks (8-processor speedups):");
-    let kernel = |tuning: DsmTuning| Platform::AsCluster {
-        procs: 8,
-        part1: true,
-        so: Some(SoftwareOverhead::ultrix_kernel()),
-        tuning,
-    };
-    let w = water::Water::paper(water::WaterMode::Modified);
-    let dec = secs(&Platform::Dec, &w);
-    let user = secs(&Platform::treadmarks(8), &w);
-    let kern = secs(&kernel(DsmTuning::default()), &w);
-    println!(
-        "  M-Water: user {:.2} -> kernel {:.2}",
-        dec / user,
-        dec / kern
-    );
-    let w = sor::Sor::small();
-    let dec = secs(&Platform::Dec, &w);
-    let user = secs(&Platform::treadmarks(8), &w);
-    let kern = secs(&kernel(DsmTuning::default()), &w);
-    println!(
-        "  SOR:     user {:.2} -> kernel {:.2} (low communication: small gain)",
-        dec / user,
-        dec / kern
-    );
-}
-
-fn sor_allchanging() {
-    let mut w = sor::Sor::small();
-    println!("SOR 1024x1024, every point changing every iteration:");
-    let dec = secs(&Platform::Dec, &w);
-    let sgi1 = secs(&Platform::Sgi { procs: 1 }, &w);
-    let tmk = secs(&Platform::treadmarks(8), &w);
-    let sgi = secs(&Platform::Sgi { procs: 8 }, &w);
-    println!(
-        "  edges-only init:  TreadMarks {:.2}  SGI {:.2}",
-        dec / tmk,
-        sgi1 / sgi
-    );
-    w.init = sor::SorInit::AllChanging;
-    let dec = secs(&Platform::Dec, &w);
-    let sgi1 = secs(&Platform::Sgi { procs: 1 }, &w);
-    let tmk = secs(&Platform::treadmarks(8), &w);
-    let sgi = secs(&Platform::Sgi { procs: 8 }, &w);
-    println!(
-        "  all-changing init: TreadMarks {:.2}  SGI {:.2}",
-        dec / tmk,
-        sgi1 / sgi
-    );
-}
-
-fn hs_node_size() {
-    let w = water::Water::paper(water::WaterMode::Modified);
-    println!("HS node size at 32 processors (M-Water speedup over 1 node-processor):");
-    let base = secs(&Platform::as_sim(1), &w);
-    for per_node in [2usize, 4, 8] {
-        let s = secs(&Platform::hs_sim(32 / per_node, per_node), &w);
-        println!("  {per_node} procs/node: {:.2}", base / s);
-    }
-}
-
-fn page_size() {
-    let w = water::Water::paper(water::WaterMode::Modified);
-    println!("AS page-size sensitivity (M-Water at 16 processors):");
-    let base = secs(&Platform::as_sim(1), &w);
-    for page in [1024usize, 4096, 16384] {
-        let p = Platform::AsCluster {
-            procs: 16,
-            part1: false,
-            so: None,
-            tuning: DsmTuning {
-                page_size: Some(page),
-                ..Default::default()
-            },
-        };
-        println!("  {page:>6}-byte pages: {:.2}", base / secs(&p, &w));
-    }
-}
-
-fn lrc_vs_ivy() {
-    println!("LRC (TreadMarks) vs sequential-consistency DSM (IVY), 8 processors:");
-    let ivy = |_| Platform::AsCluster {
-        procs: 8,
-        part1: true,
-        so: None,
-        tuning: DsmTuning {
-            protocol: DsmProtocol::Ivy,
-            ..Default::default()
-        },
-    };
-    let w = sor::Sor::small();
-    let dec = secs(&Platform::Dec, &w);
-    println!(
-        "  SOR 1024x1024: LRC {:.2}  IVY {:.2}",
-        dec / secs(&Platform::treadmarks(8), &w),
-        dec / secs(&ivy(()), &w)
-    );
-    let w = water::Water::paper(water::WaterMode::Modified);
-    let dec = secs(&Platform::Dec, &w);
-    println!(
-        "  M-Water:       LRC {:.2}  IVY {:.2}",
-        dec / secs(&Platform::treadmarks(8), &w),
-        dec / secs(&ivy(()), &w)
-    );
-    let w = tsp::Tsp::new(17);
-    let dec = secs(&Platform::Dec, &w);
-    println!(
-        "  TSP-17:        LRC {:.2}  IVY {:.2}",
-        dec / secs(&Platform::treadmarks(8), &w),
-        dec / secs(&ivy(()), &w)
-    );
-}
-
-fn determinism() {
-    let w = sor::Sor::tiny();
-    let a = run_workload(&Platform::treadmarks(4), &w).report.cycles;
-    let b = run_workload(&Platform::treadmarks(4), &w).report.cycles;
-    println!("determinism: two identical runs -> {a} and {b} cycles");
-    assert_eq!(a, b);
-}
+//! Thin shim: `ablations` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
-    let want = |n: &str| all || args.iter().any(|a| a == n);
-    if want("tsp-eager") {
-        tsp_eager();
-    }
-    if want("kernel-level") {
-        kernel_level();
-    }
-    if want("sor-allchanging") {
-        sor_allchanging();
-    }
-    if want("hs-node-size") {
-        hs_node_size();
-    }
-    if want("page-size") {
-        page_size();
-    }
-    if want("lrc-vs-ivy") {
-        lrc_vs_ivy();
-    }
-    if want("determinism") {
-        determinism();
-    }
+    tmk_bench::driver::shim_main("ablations");
 }

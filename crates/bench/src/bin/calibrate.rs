@@ -1,93 +1,6 @@
-//! Quick calibration sweep: paper-scale workloads on the Part-1 platforms,
-//! printing times, speedups and key statistics so parameter choices can be
-//! sanity-checked against the paper's shapes (not part of the figure set).
-
-use std::time::Instant;
-
-use tmk_apps::{ilink, sor, tsp, water};
-use tmk_bench::seconds_on;
-use tmk_machines::{run_workload, Platform};
-use tmk_parmacs::Workload;
-
-fn probe<W: Workload>(name: &str, w: &W) {
-    let wall = Instant::now();
-    let dec = {
-        let o = tmk_machines::run_workload(&Platform::Dec, w);
-        o.report.window_seconds()
-    };
-    let wall_dec = wall.elapsed().as_secs_f64();
-
-    let wall = Instant::now();
-    let sgi1 = seconds_on(&Platform::Sgi { procs: 1 }, w);
-    let sgi8 = {
-        let o = tmk_machines::run_workload(&Platform::Sgi { procs: 8 }, w);
-        o.report.window_seconds()
-    };
-    let wall_sgi = wall.elapsed().as_secs_f64();
-
-    let wall = Instant::now();
-    let tmk1 = seconds_on(&Platform::treadmarks(1), w);
-    let out8 = run_workload(&Platform::treadmarks(8), w);
-    let tmk8 = out8.report.window_seconds();
-    let wall_tmk = wall.elapsed().as_secs_f64();
-
-    let t = out8.report.window_traffic();
-    let secs = out8.report.window_seconds();
-    println!(
-        "{name:<14} dec1={:>7.2}s sgi1={:>7.2}s tmk1={:>7.2}s | sgi8 su={:>5.2} tmk8 su={:>5.2} | \
-         msg/s={:>8.0} KB/s={:>7.0} | wall {:.1}/{:.1}/{:.1}s",
-        dec,
-        sgi1,
-        tmk1,
-        dec / sgi8,
-        dec / tmk8,
-        t.total_msgs() as f64 / secs,
-        t.total_bytes() as f64 / 1024.0 / secs,
-        wall_dec,
-        wall_sgi,
-        wall_tmk,
-    );
-    let s = out8.report.dsm;
-    println!(
-        "{:<14} tmk8: barriers/s={:.1} remote-locks/s={:.0} diffs={} pages={} twins={}",
-        "",
-        s.barriers as f64 / 8.0 / secs,
-        s.remote_lock_acquires as f64 / secs,
-        s.diffs_created,
-        s.full_page_fetches,
-        s.twins_created,
-    );
-}
+//! Thin shim: `calibrate` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
-    let want = |n: &str| all || args.iter().any(|a| a == n);
-
-    if want("sor") {
-        probe("SOR 2048x1024", &sor::Sor::large());
-        probe("SOR 1024x1024", &sor::Sor::small());
-    }
-    if want("ilink") {
-        probe(
-            "ILINK CLP",
-            &ilink::Ilink {
-                pedigree: ilink::Pedigree::clp_like(),
-            },
-        );
-        probe(
-            "ILINK BAD",
-            &ilink::Ilink {
-                pedigree: ilink::Pedigree::bad_like(),
-            },
-        );
-    }
-    if want("tsp") {
-        probe("TSP 17", &tsp::Tsp::new(17));
-        probe("TSP 18", &tsp::Tsp::new(18));
-    }
-    if want("water") {
-        probe("Water", &water::Water::paper(water::WaterMode::Original));
-        probe("M-Water", &water::Water::paper(water::WaterMode::Modified));
-    }
+    tmk_bench::driver::shim_main("calibrate");
 }

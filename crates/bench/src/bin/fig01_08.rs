@@ -1,96 +1,6 @@
-//! **Figures 1–8**: speedups from 1 to 8 processors, TreadMarks (on the
-//! DECstation/ATM cluster) versus the SGI 4D/480, for ILINK (CLP, BAD),
-//! SOR (large, small), TSP (18, 17 cities), Water and M-Water.
-//!
-//! TreadMarks speedups are relative to the single-processor DECstation run
-//! *without* TreadMarks, exactly as in the paper; SGI speedups are relative
-//! to the single-processor SGI. Speedups are computed over the steady-state
-//! window (first iteration excluded) because the simulated runs are far
-//! shorter than the paper's multi-minute executions and would otherwise be
-//! dominated by one-time data distribution (see DESIGN.md).
-//!
-//! Paper shapes to reproduce:
-//!   Fig 1/2: both sublinear (load imbalance); the TreadMarks/SGI gap is
-//!            small for CLP and large for BAD.
-//!   Fig 3:   TreadMarks *beats* the SGI (bus bandwidth limit).
-//!   Fig 4:   the two are comparable (problem fits the secondary caches).
-//!   Fig 5/6: SGI slightly ahead; slightly larger gap on the bigger input.
-//!   Fig 7:   TreadMarks gets essentially no speedup for Water.
-//!   Fig 8:   M-Water recovers much of it; the SGI is unaffected.
-
-use tmk_apps::{ilink, sor, tsp, water};
-use tmk_machines::{run_workload, Platform};
-use tmk_parmacs::Workload;
-
-const PROCS: [usize; 5] = [1, 2, 4, 6, 8];
-
-fn window_secs<W: Workload>(p: &Platform, w: &W) -> f64 {
-    run_workload(p, w).report.window_seconds()
-}
-
-fn figure<W: Workload>(fig: usize, name: &str, w: &W) {
-    println!("\nFigure {fig}: {name} — speedup vs processors");
-    println!("{:>6} {:>12} {:>12}", "procs", "TreadMarks", "SGI 4D/480");
-    let dec = window_secs(&Platform::Dec, w);
-    let sgi1 = window_secs(&Platform::Sgi { procs: 1 }, w);
-    for n in PROCS {
-        let tmk = dec / window_secs(&Platform::treadmarks(n), w);
-        let sgi = sgi1 / window_secs(&Platform::Sgi { procs: n }, w);
-        println!("{n:>6} {tmk:>12.2} {sgi:>12.2}");
-    }
-}
+//! Thin shim: `fig01_08` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let pick = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok());
-    let want = |f: usize| pick.is_none() || pick == Some(f);
-
-    if want(1) {
-        figure(
-            1,
-            "ILINK: CLP",
-            &ilink::Ilink {
-                pedigree: ilink::Pedigree::clp_like(),
-            },
-        );
-    }
-    if want(2) {
-        figure(
-            2,
-            "ILINK: BAD",
-            &ilink::Ilink {
-                pedigree: ilink::Pedigree::bad_like(),
-            },
-        );
-    }
-    if want(3) {
-        figure(3, "SOR: 2048x1024", &sor::Sor::large());
-    }
-    if want(4) {
-        figure(4, "SOR: 1024x1024", &sor::Sor::small());
-    }
-    if want(5) {
-        figure(5, "TSP: 18 cities", &tsp::Tsp::new(18));
-    }
-    if want(6) {
-        figure(6, "TSP: 17 cities", &tsp::Tsp::new(17));
-    }
-    if want(7) {
-        figure(
-            7,
-            "Water: 288 molecules",
-            &water::Water::paper(water::WaterMode::Original),
-        );
-    }
-    if want(8) {
-        figure(
-            8,
-            "M-Water: 288 molecules",
-            &water::Water::paper(water::WaterMode::Modified),
-        );
-    }
+    tmk_bench::driver::shim_main("fig01_08");
 }

@@ -1,65 +1,6 @@
-//! **Figures 9–11**: speedups of the simulated large-scale designs — all
-//! software (AS), all hardware (AH), and hybrid (HS, 8 processors per
-//! node) — for SOR, TSP and M-Water at 8 to 64 processors.
-//!
-//! Speedups are relative to a single simulated uniprocessor node (the
-//! paper: "the uniprocessor execution times are roughly identical for all
-//! three architectures"), over the steady-state window.
-//!
-//! Paper shapes to reproduce:
-//!   Fig 9  (SOR):     AH and HS near-linear and close; AS clearly below.
-//!   Fig 10 (TSP):     high computation/communication ratio: AH ≈ HS, AS
-//!                     falls off as processors grow.
-//!   Fig 11 (M-Water): AH keeps improving to 64; AS peaks early and
-//!                     collapses; HS peaks in between (synchronization
-//!                     still limits it).
-
-use tmk_apps::{sor, tsp, water};
-use tmk_machines::{run_workload, Platform};
-use tmk_parmacs::Workload;
-
-const PROCS: [usize; 4] = [8, 16, 32, 64];
-const PER_NODE: usize = 8;
-
-fn window_secs<W: Workload>(p: &Platform, w: &W) -> f64 {
-    run_workload(p, w).report.window_seconds()
-}
-
-fn figure<W: Workload>(fig: usize, name: &str, w: &W) {
-    println!("\nFigure {fig}: {name} — speedup vs processors (AS / AH / HS)");
-    println!(
-        "{:>6} {:>10} {:>10} {:>10}",
-        "procs", "AS", "AH", "HS"
-    );
-    let base = window_secs(&Platform::as_sim(1), w);
-    for n in PROCS {
-        let as_ = base / window_secs(&Platform::as_sim(n), w);
-        let ah = base / window_secs(&Platform::Ah { procs: n }, w);
-        let hs = base / window_secs(&Platform::hs_sim(n / PER_NODE, PER_NODE), w);
-        println!("{n:>6} {as_:>10.2} {ah:>10.2} {hs:>10.2}");
-    }
-}
+//! Thin shim: `fig09_11` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let pick = args
-        .iter()
-        .position(|a| a == "--app")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let want = |name: &str| pick.as_deref().is_none_or(|p| p == name);
-
-    if want("sor") {
-        figure(9, "SOR 1024x1024", &sor::Sor::small());
-    }
-    if want("tsp") {
-        figure(10, "TSP 18 cities", &tsp::Tsp::new(18));
-    }
-    if want("mwater") {
-        figure(
-            11,
-            "M-Water 288 molecules",
-            &water::Water::paper(water::WaterMode::Modified),
-        );
-    }
+    tmk_bench::driver::shim_main("fig09_11");
 }

@@ -1,65 +1,6 @@
-//! **Figures 12–13**: total messages and total data moved at 64 processors
-//! for the AS and HS designs, expressed as percentages of the AS totals —
-//! messages split into access-miss vs synchronization, data split into
-//! miss data, consistency data (write notices / vector times), and message
-//! headers.
-//!
-//! Paper shapes to reproduce: HS cuts SOR's messages to a small fraction of
-//! AS (nearest-neighbor sharing stays in-node); TSP's messages drop by less
-//! than the node size (the queue's next consumer is usually remote) while
-//! its data drops ~6-8x (diff coalescing); M-Water's messages drop several
-//! fold but synchronization messages remain the biggest surviving share.
-
-use tmk_apps::{sor, tsp, water};
-use tmk_core::Traffic;
-use tmk_machines::{run_workload, Platform};
-use tmk_parmacs::Workload;
-
-const PROCS: usize = 64;
-const PER_NODE: usize = 8;
-
-fn window<W: Workload>(p: &Platform, w: &W) -> Traffic {
-    run_workload(p, w).report.window_traffic()
-}
-
-fn pct(part: u64, whole: u64) -> f64 {
-    100.0 * part as f64 / whole as f64
-}
-
-fn row<W: Workload>(name: &str, w: &W) {
-    let as_t = window(&Platform::as_sim(PROCS), w);
-    let hs_t = window(&Platform::hs_sim(PROCS / PER_NODE, PER_NODE), w);
-
-    let as_msgs = as_t.total_msgs();
-    println!("\n{name}");
-    println!("  messages (% of AS total = {as_msgs}):");
-    for (sys, t) in [("AS", &as_t), ("HS", &hs_t)] {
-        println!(
-            "    {sys:<3} total {:>6.1}%   miss {:>6.1}%   sync {:>6.1}%",
-            pct(t.total_msgs(), as_msgs),
-            pct(t.miss_msgs, as_msgs),
-            pct(t.sync_msgs(), as_msgs),
-        );
-    }
-    let as_bytes = as_t.total_bytes();
-    println!("  data (% of AS total = {} KB):", as_bytes / 1024);
-    for (sys, t) in [("AS", &as_t), ("HS", &hs_t)] {
-        println!(
-            "    {sys:<3} total {:>6.1}%   miss {:>6.1}%   consistency {:>6.1}%   headers {:>6.1}%",
-            pct(t.total_bytes(), as_bytes),
-            pct(t.miss_bytes, as_bytes),
-            pct(t.consistency_bytes, as_bytes),
-            pct(t.header_bytes, as_bytes),
-        );
-    }
-}
+//! Thin shim: `fig12_13` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    println!("Figures 12-13: message and data totals at {PROCS} processors, HS vs AS");
-    row("SOR 1024x1024", &sor::Sor::small());
-    row("TSP 18 cities", &tsp::Tsp::new(18));
-    row(
-        "M-Water 288 molecules",
-        &water::Water::paper(water::WaterMode::Modified),
-    );
+    tmk_bench::driver::shim_main("fig12_13");
 }

@@ -1,107 +1,6 @@
-//! **Figures 14–16**: the effect of reduced communication-software
-//! overheads on the AS design (SOR and M-Water) and the HS design
-//! (M-Water), at 8–64 processors.
-//!
-//! Four curves per figure, labelled `fixed/per-word` in processor cycles:
-//! the baseline (2000/10), a Peregrine-like interface (500/10), a
-//! SHRIMP-like memory-mapped interface (100/10), and the baseline fixed
-//! cost with a single-copy data path (2000/1); plus the fully optimized
-//! point (100/1).
-//!
-//! Paper shapes to reproduce: for SOR the *fixed* cost dominates (curves
-//! with low fixed cost approach AH/HS); for M-Water fixed and per-word
-//! reductions matter about equally on AS, while on HS the fixed cost
-//! matters more (HS already coalesced the data).
-
-use tmk_apps::{sor, water};
-use tmk_machines::{run_workload, DsmTuning, Platform};
-use tmk_net::SoftwareOverhead;
-use tmk_parmacs::Workload;
-
-const PROCS: [usize; 4] = [8, 16, 32, 64];
-/// M-Water on the all-software design at 64 processors simulates very
-/// slowly (its speedup collapses, so the run is long); the sweeps' story is
-/// fully visible by 32.
-const PROCS_MWATER: [usize; 3] = [8, 16, 32];
-const PER_NODE: usize = 8;
-
-fn sweep_platform(hs: bool, procs: usize, so: SoftwareOverhead) -> Platform {
-    if hs {
-        Platform::Hs {
-            nodes: procs / PER_NODE,
-            per_node: PER_NODE,
-            so: Some(so),
-            tuning: DsmTuning::default(),
-        }
-    } else {
-        Platform::AsCluster {
-            procs,
-            part1: false,
-            so: Some(so),
-            tuning: DsmTuning::default(),
-        }
-    }
-}
-
-fn figure<W: Workload>(fig: usize, name: &str, hs: bool, w: &W) {
-    let _ = fig;
-    let base = SoftwareOverhead::sim_baseline();
-    let variants: [(&str, SoftwareOverhead); 5] = [
-        ("2000/10", base),
-        ("500/10", base.with_fixed(500)),
-        ("100/10", base.with_fixed(100)),
-        ("2000/1", base.with_per_word(1)),
-        ("100/1", base.with_fixed(100).with_per_word(1)),
-    ];
-    let sys = if hs { "HS" } else { "AS" };
-    println!("\nFigure {fig}: {name} on {sys} — speedup under reduced software overheads");
-    print!("{:>6}", "procs");
-    for (label, _) in &variants {
-        print!("{label:>10}");
-    }
-    println!();
-    let denom = run_workload(&Platform::as_sim(1), w)
-        .report
-        .window_seconds();
-    let procs: &[usize] = if hs || fig > 14 { &PROCS_MWATER } else { &PROCS };
-    for &n in procs {
-        print!("{n:>6}");
-        for (_, so) in &variants {
-            let secs = run_workload(&sweep_platform(hs, n, *so), w)
-                .report
-                .window_seconds();
-            print!("{:>10.2}", denom / secs);
-        }
-        println!();
-    }
-}
+//! Thin shim: `fig14_16` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let pick = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok());
-    let want = |f: usize| pick.is_none() || pick == Some(f);
-
-    if want(14) {
-        figure(14, "SOR 1024x1024", false, &sor::Sor::small());
-    }
-    if want(15) {
-        figure(
-            15,
-            "M-Water 288",
-            false,
-            &water::Water::paper(water::WaterMode::Modified),
-        );
-    }
-    if want(16) {
-        figure(
-            16,
-            "M-Water 288",
-            true,
-            &water::Water::paper(water::WaterMode::Modified),
-        );
-    }
+    tmk_bench::driver::shim_main("fig14_16");
 }

@@ -1,0 +1,133 @@
+//! The unified experiment CLI: runs any subset of the case study's
+//! experiments from the declarative registry, fanning independent simulations
+//! across host cores, and optionally emits JSON records alongside the text.
+
+use std::io::Write as _;
+use std::path::Path;
+use tmk_bench::driver::{registry, run_suite, Options, Tier};
+
+const USAGE: &str = "\
+usage: suite [OPTIONS]
+
+  --experiment ID   run only this experiment (repeatable; default: all
+                    default-tier experiments — everything but `calibrate`)
+  --filter SUBSTR   keep only sections whose `experiment/section` name
+                    contains SUBSTR (repeatable)
+  --jobs N          worker threads (default: one per host core)
+  --quick           CI smoke tier: tiny inputs, 1-4 processors
+  --json            also write results/<experiment>.{txt,json} and
+                    BENCH_results.json
+  --out DIR         output directory for --json text/records (default: results)
+  --bench-json PATH path of the suite summary (default: BENCH_results.json)
+  --list            list experiments and sections, then exit
+  -h, --help        this help
+";
+
+fn main() {
+    let mut opts = Options::default();
+    let mut emit_json = false;
+    let mut list = false;
+    let mut out_dir = "results".to_string();
+    let mut bench_json = "BENCH_results.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--experiment" => opts.experiments.push(value("--experiment")),
+            "--filter" => opts.filters.push(value("--filter")),
+            "--jobs" => {
+                let v = value("--jobs");
+                opts.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs wants a number, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => opts.tier = Tier::Quick,
+            "--json" => emit_json = true,
+            "--out" => out_dir = value("--out"),
+            "--bench-json" => bench_json = value("--bench-json"),
+            "--list" => list = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if list {
+        for exp in registry(opts.tier) {
+            let tag = if exp.default { "" } else { "  (opt-in)" };
+            println!("{:<10} {}{tag}", exp.id, exp.title);
+            for sec in &exp.sections {
+                println!("           - {}", exp.section_name(sec));
+            }
+        }
+        return;
+    }
+
+    let suite = match run_suite(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    for e in &suite.experiments {
+        print!("{}", e.text);
+    }
+
+    if emit_json {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("cannot create {out_dir}: {e}");
+            std::process::exit(2);
+        }
+        for e in &suite.experiments {
+            let txt = Path::new(&out_dir).join(format!("{}.txt", e.id));
+            let json = Path::new(&out_dir).join(format!("{}.json", e.id));
+            let record = suite.experiment_json(e.id).expect("known experiment");
+            let r = std::fs::write(&txt, &e.text)
+                .and_then(|()| std::fs::write(&json, record.render_pretty(2)));
+            if let Err(err) = r {
+                eprintln!("cannot write {}: {err}", txt.display());
+                std::process::exit(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&bench_json, suite.bench_json().render_pretty(2)) {
+            eprintln!("cannot write {bench_json}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut err = std::io::stderr();
+    let _ = writeln!(
+        err,
+        "\nsuite: {} experiments, {} requests -> {} runs ({} memoized), \
+         {} workers, {:.1}s wall",
+        suite.experiments.len(),
+        suite.requests,
+        suite.runs.len(),
+        suite.memo_hits,
+        suite.jobs,
+        suite.wall_ms / 1e3,
+    );
+    if !suite.ok() {
+        for k in suite.failed_runs() {
+            let _ = writeln!(err, "failed run: {k}");
+        }
+        for s in suite.failed_sections() {
+            let _ = writeln!(err, "failed section: {s}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,56 +1,6 @@
-//! **Table 1**: single-processor execution times for every application and
-//! input, on the plain DECstation, the DECstation under TreadMarks, and the
-//! SGI 4D/480.
-//!
-//! Paper shape to reproduce: DEC ≈ DEC+TreadMarks for every program (the
-//! DSM has almost no single-processor cost); the SGI is 10–25% slower when
-//! the working set exceeds its secondary cache (and much slower for the
-//! large SOR), comparable otherwise.
-
-use tmk_apps::{ilink, sor, tsp, water};
-use tmk_bench::{fmt_secs, seconds_on};
-use tmk_machines::Platform;
-use tmk_parmacs::Workload;
-
-fn row<W: Workload>(name: &str, w: &W) {
-    let dec = seconds_on(&Platform::Dec, w);
-    let tmk = seconds_on(&Platform::treadmarks(1), w);
-    let sgi = seconds_on(&Platform::Sgi { procs: 1 }, w);
-    println!(
-        "{name:<16} {:>10} {:>12} {:>10}   (x{:.2} / x{:.2})",
-        fmt_secs(dec),
-        fmt_secs(tmk),
-        fmt_secs(sgi),
-        tmk / dec,
-        sgi / dec,
-    );
-}
+//! Thin shim: `table1` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    println!("Table 1: single-processor execution times (simulated seconds)");
-    println!(
-        "{:<16} {:>10} {:>12} {:>10}   (ratios to DEC)",
-        "Program", "DEC", "TreadMarks", "SGI"
-    );
-    row(
-        "ILINK-CLP",
-        &ilink::Ilink {
-            pedigree: ilink::Pedigree::clp_like(),
-        },
-    );
-    row(
-        "ILINK-BAD",
-        &ilink::Ilink {
-            pedigree: ilink::Pedigree::bad_like(),
-        },
-    );
-    row("SOR 2048x1024", &sor::Sor::large());
-    row("SOR 1024x1024", &sor::Sor::small());
-    row("TSP-18", &tsp::Tsp::new(18));
-    row("TSP-17", &tsp::Tsp::new(17));
-    row("Water-288-2", &water::Water::paper(water::WaterMode::Original));
-    row(
-        "M-Water-288-2",
-        &water::Water::paper(water::WaterMode::Modified),
-    );
+    tmk_bench::driver::shim_main("table1");
 }

@@ -1,58 +1,6 @@
-//! **Table 2**: 8-processor TreadMarks execution statistics — barriers per
-//! second, remote lock acquires per second, messages per second, and
-//! kilobytes per second, for every application and input.
-//!
-//! Paper shape to reproduce: Water's remote-lock and message rates tower
-//! over everything; M-Water cuts them by an order of magnitude; ILINK-BAD
-//! has a higher barrier rate and data rate than ILINK-CLP; SOR's rates are
-//! modest; TSP's are tiny.
-
-use tmk_apps::{ilink, sor, tsp, water};
-use tmk_machines::{run_workload, Platform};
-use tmk_parmacs::Workload;
-
-fn row<W: Workload>(name: &str, w: &W) {
-    let out = run_workload(&Platform::treadmarks(8), w);
-    let secs = out.report.window_seconds();
-    let t = out.report.window_traffic();
-    let s = out.report.dsm;
-    // Barrier episodes: each involves all 8 processors; report per-episode.
-    let barriers = s.barriers as f64 / 8.0;
-    println!(
-        "{name:<16} {:>10.2} {:>14.0} {:>12.0} {:>12.0}",
-        barriers / secs,
-        s.remote_lock_acquires as f64 / secs,
-        t.total_msgs() as f64 / secs,
-        t.total_bytes() as f64 / 1024.0 / secs,
-    );
-}
+//! Thin shim: `table2` via the unified experiment driver. Arguments become
+//! section filters (legacy `--fig N` / `--app NAME` still work).
 
 fn main() {
-    println!("Table 2: 8-processor TreadMarks execution statistics");
-    println!("(steady-state window, first iteration excluded)");
-    println!(
-        "{:<16} {:>10} {:>14} {:>12} {:>12}",
-        "Program", "Barriers/s", "RemoteLocks/s", "Messages/s", "KB/s"
-    );
-    row(
-        "ILINK-CLP",
-        &ilink::Ilink {
-            pedigree: ilink::Pedigree::clp_like(),
-        },
-    );
-    row(
-        "ILINK-BAD",
-        &ilink::Ilink {
-            pedigree: ilink::Pedigree::bad_like(),
-        },
-    );
-    row("SOR 2048x1024", &sor::Sor::large());
-    row("SOR 1024x1024", &sor::Sor::small());
-    row("TSP-18", &tsp::Tsp::new(18));
-    row("TSP-17", &tsp::Tsp::new(17));
-    row("Water-288-2", &water::Water::paper(water::WaterMode::Original));
-    row(
-        "M-Water-288-2",
-        &water::Water::paper(water::WaterMode::Modified),
-    );
+    tmk_bench::driver::shim_main("table2");
 }

@@ -1,0 +1,1823 @@
+//! The declarative experiment driver: one registry describes every table,
+//! figure and ablation of the case study, one scheduler runs the underlying
+//! simulations across host cores, and one renderer turns the memoized
+//! results into the text tables and JSON records under `results/`.
+//!
+//! Structure:
+//!
+//! * [`WorkloadSpec`] — a declarative workload identity (app + input),
+//!   cheap to clone and hash, instantiated only inside a job.
+//! * [`JobRequest`] — (platform, workload, instance) with a stable
+//!   [`JobRequest::key`]; equal keys are interchangeable runs, so repeated
+//!   baselines (the DEC uniprocessor time appears in Table 1 and all eight
+//!   of Figures 1–8) simulate **once** and memoize.
+//! * [`run_jobs`] — fans unique jobs across `jobs` crossbeam scoped worker
+//!   threads; each job runs under `catch_unwind` so a panicking simulation
+//!   becomes a failed record, not a dead sweep, and records host wall time.
+//! * [`registry`] — the experiments; each section lists its requests and
+//!   renders its text from the memo table, byte-identical to the historical
+//!   per-binary output on the [`Tier::Full`] tier.
+//! * [`run_suite`] — selection (`--experiment`, `--filter`), scheduling,
+//!   rendering, and the `BENCH_results.json` / `results/*.json` records.
+//!
+//! The eight legacy binaries are thin shims over [`shim_main`]; the `suite`
+//! binary exposes the full CLI.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use tmk_apps::{ilink, sor, tsp, water};
+use tmk_machines::{run_workload, DsmProtocol, DsmTuning, Json, Outcome, Platform, RunReport};
+use tmk_net::SoftwareOverhead;
+use tmk_parmacs::Workload;
+
+use crate::fmt_secs;
+
+/// Which scale of inputs the registry instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Paper-scale inputs and processor counts (the `results/` files).
+    Full,
+    /// Tiny inputs at 1–4 processors: the CI smoke tier.
+    Quick,
+}
+
+impl Tier {
+    /// Lowercase name for records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Quick => "quick",
+        }
+    }
+}
+
+/// A declarative workload identity: which application on which input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// ILINK on the CLP-like pedigree.
+    IlinkClp,
+    /// ILINK on the BAD-like pedigree.
+    IlinkBad,
+    /// ILINK on the tiny test pedigree.
+    IlinkTiny,
+    /// SOR 2048×1024.
+    SorLarge,
+    /// SOR 1024×1024.
+    SorSmall,
+    /// SOR on the tiny test grid.
+    SorTiny,
+    /// SOR with the all-changing interior (§2.4.2 ablation); tiny selects
+    /// the test grid instead of 1024×1024.
+    SorAllChanging {
+        /// Use the tiny grid.
+        tiny: bool,
+    },
+    /// TSP with `cities` cities.
+    Tsp {
+        /// City count.
+        cities: usize,
+    },
+    /// Water (original or M-Water); tiny selects the 24-molecule input.
+    Water {
+        /// M-Water (per-molecule accumulated updates) instead of the
+        /// original lock-per-update program.
+        modified: bool,
+        /// Use the tiny input.
+        tiny: bool,
+    },
+    /// A job that always panics — exercises the scheduler's per-job
+    /// isolation in tests.
+    #[doc(hidden)]
+    PanicProbe,
+}
+
+impl WorkloadSpec {
+    /// Stable identity fragment for memo keys.
+    pub fn id(&self) -> String {
+        match self {
+            WorkloadSpec::IlinkClp => "ilink-clp".to_string(),
+            WorkloadSpec::IlinkBad => "ilink-bad".to_string(),
+            WorkloadSpec::IlinkTiny => "ilink-tiny".to_string(),
+            WorkloadSpec::SorLarge => "sor-large".to_string(),
+            WorkloadSpec::SorSmall => "sor-small".to_string(),
+            WorkloadSpec::SorTiny => "sor-tiny".to_string(),
+            WorkloadSpec::SorAllChanging { tiny: false } => "sor-small-ac".to_string(),
+            WorkloadSpec::SorAllChanging { tiny: true } => "sor-tiny-ac".to_string(),
+            WorkloadSpec::Tsp { cities } => format!("tsp{cities}"),
+            WorkloadSpec::Water {
+                modified,
+                tiny,
+            } => {
+                let base = if *modified { "mwater" } else { "water" };
+                if *tiny {
+                    format!("{base}-tiny")
+                } else {
+                    base.to_string()
+                }
+            }
+            WorkloadSpec::PanicProbe => "panic-probe".to_string(),
+        }
+    }
+
+    fn sor(&self) -> Option<sor::Sor> {
+        match self {
+            WorkloadSpec::SorLarge => Some(sor::Sor::large()),
+            WorkloadSpec::SorSmall => Some(sor::Sor::small()),
+            WorkloadSpec::SorTiny => Some(sor::Sor::tiny()),
+            WorkloadSpec::SorAllChanging { tiny } => {
+                let mut w = if *tiny {
+                    sor::Sor::tiny()
+                } else {
+                    sor::Sor::small()
+                };
+                w.init = sor::SorInit::AllChanging;
+                Some(w)
+            }
+            _ => None,
+        }
+    }
+
+    fn ilink(&self) -> Option<ilink::Ilink> {
+        let pedigree = match self {
+            WorkloadSpec::IlinkClp => ilink::Pedigree::clp_like(),
+            WorkloadSpec::IlinkBad => ilink::Pedigree::bad_like(),
+            WorkloadSpec::IlinkTiny => ilink::Pedigree::tiny(),
+            _ => return None,
+        };
+        Some(ilink::Ilink { pedigree })
+    }
+
+    fn water(&self) -> Option<water::Water> {
+        match self {
+            WorkloadSpec::Water { modified, tiny } => {
+                let mode = if *modified {
+                    water::WaterMode::Modified
+                } else {
+                    water::WaterMode::Original
+                };
+                Some(if *tiny {
+                    water::Water::tiny(mode)
+                } else {
+                    water::Water::paper(mode)
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Application name and parameter string, as the instantiated
+    /// [`Workload`] reports them.
+    pub fn describe(&self) -> (String, String) {
+        fn d<W: Workload>(w: &W) -> (String, String) {
+            (w.name().to_string(), w.params())
+        }
+        if let Some(w) = self.sor() {
+            return d(&w);
+        }
+        if let Some(w) = self.ilink() {
+            return d(&w);
+        }
+        if let Some(w) = self.water() {
+            return d(&w);
+        }
+        match self {
+            WorkloadSpec::Tsp { .. } => d(&self.tsp_instance()),
+            WorkloadSpec::PanicProbe => ("panic-probe".to_string(), String::new()),
+            _ => unreachable!("covered above"),
+        }
+    }
+
+    fn tsp_instance(&self) -> tsp::Tsp {
+        match self {
+            WorkloadSpec::Tsp { cities } => tsp::Tsp::new(*cities),
+            _ => unreachable!("tsp_instance on non-TSP spec"),
+        }
+    }
+
+    /// Instantiates and runs the workload on `platform`.
+    pub fn run(&self, platform: &Platform) -> Outcome<f64> {
+        if let Some(w) = self.sor() {
+            return run_workload(platform, &w);
+        }
+        if let Some(w) = self.ilink() {
+            return run_workload(platform, &w);
+        }
+        if let Some(w) = self.water() {
+            return run_workload(platform, &w);
+        }
+        match self {
+            WorkloadSpec::Tsp { .. } => run_workload(platform, &self.tsp_instance()),
+            WorkloadSpec::PanicProbe => panic!("deliberate panic probe"),
+            _ => unreachable!("covered above"),
+        }
+    }
+}
+
+/// One simulation to run: a workload on a platform.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The platform to simulate.
+    pub platform: Platform,
+    /// The workload to run on it.
+    pub workload: WorkloadSpec,
+    /// Repetition index. Requests with equal keys are memoized into one
+    /// run; a deliberate re-run (the determinism ablation) bumps this.
+    pub instance: u32,
+}
+
+impl JobRequest {
+    /// A first-instance request.
+    pub fn new(platform: Platform, workload: WorkloadSpec) -> Self {
+        JobRequest {
+            platform,
+            workload,
+            instance: 0,
+        }
+    }
+
+    /// The memoization key: workload id, platform key, and (when nonzero)
+    /// the instance.
+    pub fn key(&self) -> String {
+        let base = format!("{}|{}", self.workload.id(), self.platform.key());
+        if self.instance == 0 {
+            base
+        } else {
+            format!("{base}#{}", self.instance)
+        }
+    }
+}
+
+/// What one simulated run produced.
+#[derive(Debug, Clone)]
+pub struct RunData {
+    /// The measurement report.
+    pub report: RunReport,
+    /// Per-processor checksums.
+    pub checksums: Vec<f64>,
+}
+
+/// One executed (or failed) job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The memo key.
+    pub key: String,
+    /// [`Platform::key`] of the platform.
+    pub platform: String,
+    /// [`Platform::name`] of the platform.
+    pub platform_name: &'static str,
+    /// Application name.
+    pub workload: String,
+    /// Application parameter string.
+    pub params: String,
+    /// Processors simulated.
+    pub procs: usize,
+    /// The run's data, or the panic message when the simulation died.
+    pub data: Result<RunData, String>,
+    /// Host wall-clock time spent executing this job, in milliseconds.
+    pub host_ms: f64,
+}
+
+/// Results of a scheduling round, keyed for memoized lookup.
+#[derive(Debug, Default)]
+pub struct MemoTable {
+    map: HashMap<String, JobResult>,
+    /// Requests satisfied by an earlier identical request.
+    pub hits: usize,
+}
+
+impl MemoTable {
+    /// Looks up the result for `req`.
+    pub fn get(&self, req: &JobRequest) -> Option<&JobResult> {
+        self.map.get(&req.key())
+    }
+
+    /// Unique runs executed.
+    pub fn unique_runs(&self) -> usize {
+        self.map.len()
+    }
+
+    /// All results, sorted by key for stable emission.
+    pub fn sorted_runs(&self) -> Vec<&JobResult> {
+        let mut runs: Vec<&JobResult> = self.map.values().collect();
+        runs.sort_by(|a, b| a.key.cmp(&b.key));
+        runs
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+fn execute(req: &JobRequest) -> JobResult {
+    let (workload, params) = req.workload.describe();
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| req.workload.run(&req.platform)));
+    let host_ms = start.elapsed().as_secs_f64() * 1e3;
+    JobResult {
+        key: req.key(),
+        platform: req.platform.key(),
+        platform_name: req.platform.name(),
+        workload,
+        params,
+        procs: req.platform.procs(),
+        data: match outcome {
+            Ok(out) => Ok(RunData {
+                report: out.report,
+                checksums: out.results,
+            }),
+            Err(payload) => Err(panic_text(payload.as_ref())),
+        },
+        host_ms,
+    }
+}
+
+/// Runs every unique request across `jobs` worker threads (0 = host
+/// parallelism). Duplicate keys count as memo hits and are not re-run, so
+/// results are identical for any `jobs` value: each unique simulation
+/// executes exactly once and is itself deterministic.
+pub fn run_jobs(requests: &[JobRequest], jobs: usize) -> MemoTable {
+    let mut unique: Vec<JobRequest> = Vec::new();
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut hits = 0;
+    for req in requests {
+        if seen.insert(req.key(), ()).is_some() {
+            hits += 1;
+        } else {
+            unique.push(req.clone());
+        }
+    }
+
+    let jobs = resolve_jobs(jobs).min(unique.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let unique = &unique;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= unique.len() {
+                    break;
+                }
+                // `execute` catches the simulation's panics; a send only
+                // fails if the receiver is gone, which it never is here.
+                let _ = tx.send(execute(&unique[i]));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    drop(tx);
+
+    let mut map = HashMap::new();
+    for result in rx.iter() {
+        map.insert(result.key.clone(), result);
+    }
+    MemoTable { map, hits }
+}
+
+/// Host worker-thread count for `jobs == 0`.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Render-time access to memoized results.
+pub struct Ctx<'a> {
+    memo: &'a MemoTable,
+}
+
+impl Ctx<'_> {
+    /// The job record for `req` (even a failed one).
+    pub fn job(&self, req: &JobRequest) -> Result<&JobResult, String> {
+        self.memo
+            .get(req)
+            .ok_or_else(|| format!("run {} was not scheduled", req.key()))
+    }
+
+    /// The run data for `req`; failed runs surface as errors.
+    pub fn data(&self, req: &JobRequest) -> Result<&RunData, String> {
+        let job = self.job(req)?;
+        job.data
+            .as_ref()
+            .map_err(|e| format!("run {} failed: {e}", job.key))
+    }
+
+    /// The measurement report for `req`.
+    pub fn report(&self, req: &JobRequest) -> Result<&RunReport, String> {
+        Ok(&self.data(req)?.report)
+    }
+
+    /// Whole-run simulated seconds.
+    pub fn secs(&self, req: &JobRequest) -> Result<f64, String> {
+        Ok(self.report(req)?.seconds())
+    }
+
+    /// Steady-state-window simulated seconds.
+    pub fn wsecs(&self, req: &JobRequest) -> Result<f64, String> {
+        Ok(self.report(req)?.window_seconds())
+    }
+}
+
+type Render = Box<dyn Fn(&Ctx) -> Result<String, String> + Send + Sync>;
+
+/// A filterable unit of an experiment: the runs it needs plus the renderer
+/// that turns them into text.
+pub struct Section {
+    /// Section id within the experiment ("" for single-section
+    /// experiments).
+    pub id: &'static str,
+    /// The simulations this section consumes.
+    pub requests: Vec<JobRequest>,
+    render: Render,
+}
+
+impl Section {
+    fn new(id: &'static str, requests: Vec<JobRequest>, render: Render) -> Self {
+        Section {
+            id,
+            requests,
+            render,
+        }
+    }
+}
+
+/// One experiment: a header plus sections.
+pub struct Experiment {
+    /// Experiment id (`table1`, `fig01_08`, ...), also the output filename
+    /// stem.
+    pub id: &'static str,
+    /// One-line description for `--list`.
+    pub title: &'static str,
+    /// Whether the default (no `--experiment`) selection includes it.
+    pub default: bool,
+    /// Text printed once before the selected sections.
+    pub header: Option<String>,
+    /// The sections, in print order.
+    pub sections: Vec<Section>,
+}
+
+impl Experiment {
+    /// `exp` or `exp/section` display name.
+    pub fn section_name(&self, section: &Section) -> String {
+        if section.id.is_empty() {
+            self.id.to_string()
+        } else {
+            format!("{}/{}", self.id, section.id)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+fn req(platform: Platform, workload: WorkloadSpec) -> JobRequest {
+    JobRequest::new(platform, workload)
+}
+
+/// The (label, workload) rows shared by Table 1, Table 2 and Figures 1–8.
+fn roster(tier: Tier) -> Vec<(&'static str, WorkloadSpec)> {
+    match tier {
+        Tier::Full => vec![
+            ("ILINK-CLP", WorkloadSpec::IlinkClp),
+            ("ILINK-BAD", WorkloadSpec::IlinkBad),
+            ("SOR 2048x1024", WorkloadSpec::SorLarge),
+            ("SOR 1024x1024", WorkloadSpec::SorSmall),
+            ("TSP-18", WorkloadSpec::Tsp { cities: 18 }),
+            ("TSP-17", WorkloadSpec::Tsp { cities: 17 }),
+            (
+                "Water-288-2",
+                WorkloadSpec::Water {
+                    modified: false,
+                    tiny: false,
+                },
+            ),
+            (
+                "M-Water-288-2",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: false,
+                },
+            ),
+        ],
+        Tier::Quick => vec![
+            ("ILINK-TINY", WorkloadSpec::IlinkTiny),
+            ("SOR-TINY", WorkloadSpec::SorTiny),
+            ("TSP-10", WorkloadSpec::Tsp { cities: 10 }),
+            (
+                "Water-tiny",
+                WorkloadSpec::Water {
+                    modified: false,
+                    tiny: true,
+                },
+            ),
+            (
+                "M-Water-tiny",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: true,
+                },
+            ),
+        ],
+    }
+}
+
+fn table1(tier: Tier) -> Experiment {
+    let rows = roster(tier);
+    let platforms = || {
+        [
+            Platform::Dec,
+            Platform::treadmarks(1),
+            Platform::Sgi { procs: 1 },
+        ]
+    };
+    let requests = rows
+        .iter()
+        .flat_map(|(_, w)| platforms().into_iter().map(move |p| req(p, w.clone())))
+        .collect();
+    let render_rows = rows.clone();
+    let render: Render = Box::new(move |ctx| {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "Table 1: single-processor execution times (simulated seconds)"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>12} {:>10}   (ratios to DEC)",
+            "Program", "DEC", "TreadMarks", "SGI"
+        )
+        .unwrap();
+        for (name, w) in &render_rows {
+            let dec = ctx.secs(&req(Platform::Dec, w.clone()))?;
+            let tmk = ctx.secs(&req(Platform::treadmarks(1), w.clone()))?;
+            let sgi = ctx.secs(&req(Platform::Sgi { procs: 1 }, w.clone()))?;
+            writeln!(
+                out,
+                "{name:<16} {:>10} {:>12} {:>10}   (x{:.2} / x{:.2})",
+                fmt_secs(dec),
+                fmt_secs(tmk),
+                fmt_secs(sgi),
+                tmk / dec,
+                sgi / dec,
+            )
+            .unwrap();
+        }
+        Ok(out)
+    });
+    Experiment {
+        id: "table1",
+        title: "single-processor execution times (DEC, DEC+TreadMarks, SGI)",
+        default: true,
+        header: None,
+        sections: vec![Section::new("", requests, render)],
+    }
+}
+
+fn table2(tier: Tier) -> Experiment {
+    let rows = roster(tier);
+    let procs = match tier {
+        Tier::Full => 8,
+        Tier::Quick => 4,
+    };
+    let requests = rows
+        .iter()
+        .map(|(_, w)| req(Platform::treadmarks(procs), w.clone()))
+        .collect();
+    let render_rows = rows.clone();
+    let render: Render = Box::new(move |ctx| {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "Table 2: {procs}-processor TreadMarks execution statistics"
+        )
+        .unwrap();
+        writeln!(out, "(steady-state window, first iteration excluded)").unwrap();
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>14} {:>12} {:>12}",
+            "Program", "Barriers/s", "RemoteLocks/s", "Messages/s", "KB/s"
+        )
+        .unwrap();
+        for (name, w) in &render_rows {
+            let r = ctx.report(&req(Platform::treadmarks(procs), w.clone()))?;
+            let secs = r.window_seconds();
+            let t = r.window_traffic();
+            let s = r.dsm;
+            // Barrier episodes: each involves all processors; report
+            // per-episode.
+            let barriers = s.barriers as f64 / procs as f64;
+            writeln!(
+                out,
+                "{name:<16} {:>10.2} {:>14.0} {:>12.0} {:>12.0}",
+                barriers / secs,
+                s.remote_lock_acquires as f64 / secs,
+                t.total_msgs() as f64 / secs,
+                t.total_bytes() as f64 / 1024.0 / secs,
+            )
+            .unwrap();
+        }
+        Ok(out)
+    });
+    Experiment {
+        id: "table2",
+        title: "8-processor TreadMarks execution statistics",
+        default: true,
+        header: None,
+        sections: vec![Section::new("", requests, render)],
+    }
+}
+
+fn fig01_08(tier: Tier) -> Experiment {
+    let procs: Vec<usize> = match tier {
+        Tier::Full => vec![1, 2, 4, 6, 8],
+        Tier::Quick => vec![1, 2, 4],
+    };
+    let figures: Vec<(&'static str, &'static str, WorkloadSpec)> = match tier {
+        Tier::Full => vec![
+            ("fig1", "ILINK: CLP", WorkloadSpec::IlinkClp),
+            ("fig2", "ILINK: BAD", WorkloadSpec::IlinkBad),
+            ("fig3", "SOR: 2048x1024", WorkloadSpec::SorLarge),
+            ("fig4", "SOR: 1024x1024", WorkloadSpec::SorSmall),
+            ("fig5", "TSP: 18 cities", WorkloadSpec::Tsp { cities: 18 }),
+            ("fig6", "TSP: 17 cities", WorkloadSpec::Tsp { cities: 17 }),
+            (
+                "fig7",
+                "Water: 288 molecules",
+                WorkloadSpec::Water {
+                    modified: false,
+                    tiny: false,
+                },
+            ),
+            (
+                "fig8",
+                "M-Water: 288 molecules",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: false,
+                },
+            ),
+        ],
+        Tier::Quick => vec![
+            ("fig1", "ILINK: TINY", WorkloadSpec::IlinkTiny),
+            ("fig3", "SOR: tiny", WorkloadSpec::SorTiny),
+            ("fig5", "TSP: 10 cities", WorkloadSpec::Tsp { cities: 10 }),
+            (
+                "fig7",
+                "Water: tiny",
+                WorkloadSpec::Water {
+                    modified: false,
+                    tiny: true,
+                },
+            ),
+            (
+                "fig8",
+                "M-Water: tiny",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: true,
+                },
+            ),
+        ],
+    };
+    let sections = figures
+        .iter()
+        .enumerate()
+        .map(|(i, (id, name, w))| {
+            let fig = i + 1;
+            // Section ids are stable names; figure numbers for display come
+            // from the id ("fig3" -> 3) so quick-tier gaps stay aligned.
+            let fig = id.strip_prefix("fig").and_then(|n| n.parse().ok()).unwrap_or(fig);
+            let mut requests = vec![
+                req(Platform::Dec, w.clone()),
+                req(Platform::Sgi { procs: 1 }, w.clone()),
+            ];
+            for &n in &procs {
+                requests.push(req(Platform::treadmarks(n), w.clone()));
+                requests.push(req(Platform::Sgi { procs: n }, w.clone()));
+            }
+            let (name, w, procs) = (*name, w.clone(), procs.clone());
+            let render: Render = Box::new(move |ctx| {
+                let mut out = String::new();
+                writeln!(out).unwrap();
+                writeln!(out, "Figure {fig}: {name} — speedup vs processors").unwrap();
+                writeln!(out, "{:>6} {:>12} {:>12}", "procs", "TreadMarks", "SGI 4D/480")
+                    .unwrap();
+                let dec = ctx.wsecs(&req(Platform::Dec, w.clone()))?;
+                let sgi1 = ctx.wsecs(&req(Platform::Sgi { procs: 1 }, w.clone()))?;
+                for &n in &procs {
+                    let tmk = dec / ctx.wsecs(&req(Platform::treadmarks(n), w.clone()))?;
+                    let sgi = sgi1 / ctx.wsecs(&req(Platform::Sgi { procs: n }, w.clone()))?;
+                    writeln!(out, "{n:>6} {tmk:>12.2} {sgi:>12.2}").unwrap();
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+    Experiment {
+        id: "fig01_08",
+        title: "speedups 1-8 processors, TreadMarks vs SGI 4D/480",
+        default: true,
+        header: None,
+        sections,
+    }
+}
+
+fn fig09_11(tier: Tier) -> Experiment {
+    let (procs, per_node): (Vec<usize>, usize) = match tier {
+        Tier::Full => (vec![8, 16, 32, 64], 8),
+        Tier::Quick => (vec![2, 4], 2),
+    };
+    let apps: Vec<(&'static str, usize, &'static str, WorkloadSpec)> = match tier {
+        Tier::Full => vec![
+            ("sor", 9, "SOR 1024x1024", WorkloadSpec::SorSmall),
+            ("tsp", 10, "TSP 18 cities", WorkloadSpec::Tsp { cities: 18 }),
+            (
+                "mwater",
+                11,
+                "M-Water 288 molecules",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: false,
+                },
+            ),
+        ],
+        Tier::Quick => vec![
+            ("sor", 9, "SOR tiny", WorkloadSpec::SorTiny),
+            ("tsp", 10, "TSP 10 cities", WorkloadSpec::Tsp { cities: 10 }),
+            (
+                "mwater",
+                11,
+                "M-Water tiny",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: true,
+                },
+            ),
+        ],
+    };
+    let sections = apps
+        .iter()
+        .map(|(id, fig, name, w)| {
+            let mut requests = vec![req(Platform::as_sim(1), w.clone())];
+            for &n in &procs {
+                requests.push(req(Platform::as_sim(n), w.clone()));
+                requests.push(req(Platform::Ah { procs: n }, w.clone()));
+                requests.push(req(Platform::hs_sim(n / per_node, per_node), w.clone()));
+            }
+            let (fig, name, w, procs) = (*fig, *name, w.clone(), procs.clone());
+            let render: Render = Box::new(move |ctx| {
+                let mut out = String::new();
+                writeln!(out).unwrap();
+                writeln!(
+                    out,
+                    "Figure {fig}: {name} — speedup vs processors (AS / AH / HS)"
+                )
+                .unwrap();
+                writeln!(out, "{:>6} {:>10} {:>10} {:>10}", "procs", "AS", "AH", "HS").unwrap();
+                let base = ctx.wsecs(&req(Platform::as_sim(1), w.clone()))?;
+                for &n in &procs {
+                    let as_ = base / ctx.wsecs(&req(Platform::as_sim(n), w.clone()))?;
+                    let ah = base / ctx.wsecs(&req(Platform::Ah { procs: n }, w.clone()))?;
+                    let hs =
+                        base / ctx.wsecs(&req(Platform::hs_sim(n / per_node, per_node), w.clone()))?;
+                    writeln!(out, "{n:>6} {as_:>10.2} {ah:>10.2} {hs:>10.2}").unwrap();
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+    Experiment {
+        id: "fig09_11",
+        title: "speedups 8-64 processors, AS vs AH vs HS",
+        default: true,
+        header: None,
+        sections,
+    }
+}
+
+fn fig12_13(tier: Tier) -> Experiment {
+    let (procs, per_node) = match tier {
+        Tier::Full => (64usize, 8usize),
+        Tier::Quick => (4, 2),
+    };
+    let apps: Vec<(&'static str, &'static str, WorkloadSpec)> = match tier {
+        Tier::Full => vec![
+            ("sor", "SOR 1024x1024", WorkloadSpec::SorSmall),
+            ("tsp", "TSP 18 cities", WorkloadSpec::Tsp { cities: 18 }),
+            (
+                "mwater",
+                "M-Water 288 molecules",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: false,
+                },
+            ),
+        ],
+        Tier::Quick => vec![
+            ("sor", "SOR tiny", WorkloadSpec::SorTiny),
+            ("tsp", "TSP 10 cities", WorkloadSpec::Tsp { cities: 10 }),
+            (
+                "mwater",
+                "M-Water tiny",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: true,
+                },
+            ),
+        ],
+    };
+    let sections = apps
+        .iter()
+        .map(|(id, name, w)| {
+            let requests = vec![
+                req(Platform::as_sim(procs), w.clone()),
+                req(Platform::hs_sim(procs / per_node, per_node), w.clone()),
+            ];
+            let (name, w) = (*name, w.clone());
+            let render: Render = Box::new(move |ctx| {
+                let as_t = ctx.report(&req(Platform::as_sim(procs), w.clone()))?.window_traffic();
+                let hs_t = ctx
+                    .report(&req(Platform::hs_sim(procs / per_node, per_node), w.clone()))?
+                    .window_traffic();
+                let pct = |part: u64, whole: u64| 100.0 * part as f64 / whole as f64;
+                let mut out = String::new();
+                let as_msgs = as_t.total_msgs();
+                writeln!(out).unwrap();
+                writeln!(out, "{name}").unwrap();
+                writeln!(out, "  messages (% of AS total = {as_msgs}):").unwrap();
+                for (sys, t) in [("AS", &as_t), ("HS", &hs_t)] {
+                    writeln!(
+                        out,
+                        "    {sys:<3} total {:>6.1}%   miss {:>6.1}%   sync {:>6.1}%",
+                        pct(t.total_msgs(), as_msgs),
+                        pct(t.miss_msgs, as_msgs),
+                        pct(t.sync_msgs(), as_msgs),
+                    )
+                    .unwrap();
+                }
+                let as_bytes = as_t.total_bytes();
+                writeln!(out, "  data (% of AS total = {} KB):", as_bytes / 1024).unwrap();
+                for (sys, t) in [("AS", &as_t), ("HS", &hs_t)] {
+                    writeln!(
+                        out,
+                        "    {sys:<3} total {:>6.1}%   miss {:>6.1}%   consistency {:>6.1}%   headers {:>6.1}%",
+                        pct(t.total_bytes(), as_bytes),
+                        pct(t.miss_bytes, as_bytes),
+                        pct(t.consistency_bytes, as_bytes),
+                        pct(t.header_bytes, as_bytes),
+                    )
+                    .unwrap();
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+    Experiment {
+        id: "fig12_13",
+        title: "message and data totals, HS vs AS at 64 processors",
+        default: true,
+        header: Some(format!(
+            "Figures 12-13: message and data totals at {procs} processors, HS vs AS\n"
+        )),
+        sections,
+    }
+}
+
+fn fig14_16(tier: Tier) -> Experiment {
+    let base_so = SoftwareOverhead::sim_baseline();
+    let variants: Vec<(&'static str, SoftwareOverhead)> = vec![
+        ("2000/10", base_so),
+        ("500/10", base_so.with_fixed(500)),
+        ("100/10", base_so.with_fixed(100)),
+        ("2000/1", base_so.with_per_word(1)),
+        ("100/1", base_so.with_fixed(100).with_per_word(1)),
+    ];
+    let per_node = match tier {
+        Tier::Full => 8usize,
+        Tier::Quick => 2,
+    };
+    let sweep_platform = move |hs: bool, procs: usize, so: SoftwareOverhead| {
+        if hs {
+            Platform::Hs {
+                nodes: procs / per_node,
+                per_node,
+                so: Some(so),
+                tuning: DsmTuning::default(),
+            }
+        } else {
+            Platform::AsCluster {
+                procs,
+                part1: false,
+                so: Some(so),
+                tuning: DsmTuning::default(),
+            }
+        }
+    };
+    let sor_spec = match tier {
+        Tier::Full => WorkloadSpec::SorSmall,
+        Tier::Quick => WorkloadSpec::SorTiny,
+    };
+    let mwater_spec = WorkloadSpec::Water {
+        modified: true,
+        tiny: tier == Tier::Quick,
+    };
+    // (section id, figure no., display name, HS?, workload, procs sweep)
+    let figures: Vec<(&'static str, usize, &'static str, bool, WorkloadSpec, Vec<usize>)> =
+        match tier {
+            Tier::Full => vec![
+                ("fig14", 14, "SOR 1024x1024", false, sor_spec, vec![8, 16, 32, 64]),
+                // M-Water on AS at 64 processors simulates very slowly (its
+                // speedup collapses, so the run is long); the sweeps' story
+                // is fully visible by 32.
+                ("fig15", 15, "M-Water 288", false, mwater_spec.clone(), vec![8, 16, 32]),
+                ("fig16", 16, "M-Water 288", true, mwater_spec, vec![8, 16, 32]),
+            ],
+            Tier::Quick => vec![
+                ("fig14", 14, "SOR tiny", false, sor_spec, vec![2, 4]),
+                ("fig15", 15, "M-Water tiny", false, mwater_spec.clone(), vec![2, 4]),
+                ("fig16", 16, "M-Water tiny", true, mwater_spec, vec![4]),
+            ],
+        };
+    let sections = figures
+        .into_iter()
+        .map(|(id, fig, name, hs, w, procs)| {
+            let mut requests = vec![req(Platform::as_sim(1), w.clone())];
+            for &n in &procs {
+                for (_, so) in &variants {
+                    requests.push(req(sweep_platform(hs, n, *so), w.clone()));
+                }
+            }
+            let variants = variants.clone();
+            let render: Render = Box::new(move |ctx| {
+                let sys = if hs { "HS" } else { "AS" };
+                let mut out = String::new();
+                writeln!(out).unwrap();
+                writeln!(
+                    out,
+                    "Figure {fig}: {name} on {sys} — speedup under reduced software overheads"
+                )
+                .unwrap();
+                write!(out, "{:>6}", "procs").unwrap();
+                for (label, _) in &variants {
+                    write!(out, "{label:>10}").unwrap();
+                }
+                writeln!(out).unwrap();
+                let denom = ctx.wsecs(&req(Platform::as_sim(1), w.clone()))?;
+                for &n in &procs {
+                    write!(out, "{n:>6}").unwrap();
+                    for (_, so) in &variants {
+                        let secs = ctx.wsecs(&req(sweep_platform(hs, n, *so), w.clone()))?;
+                        write!(out, "{:>10.2}", denom / secs).unwrap();
+                    }
+                    writeln!(out).unwrap();
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+    Experiment {
+        id: "fig14_16",
+        title: "software-overhead sweeps (Peregrine/SHRIMP-like points)",
+        default: true,
+        header: None,
+        sections,
+    }
+}
+
+fn ablations(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    let procs = if quick { 4usize } else { 8 };
+    let mut sections = Vec::new();
+
+    // §2.4.3: eager release on the TSP bound lock.
+    {
+        let cities = if quick { 10 } else { 14 };
+        let w = WorkloadSpec::Tsp { cities };
+        let eager = Platform::AsCluster {
+            procs,
+            part1: true,
+            so: None,
+            tuning: DsmTuning {
+                eager_locks: vec![tsp::BOUND_LOCK],
+                ..Default::default()
+            },
+        };
+        let requests = vec![
+            req(Platform::Dec, w.clone()),
+            req(Platform::treadmarks(procs), w.clone()),
+            req(eager.clone(), w.clone()),
+            req(Platform::Sgi { procs: 1 }, w.clone()),
+            req(Platform::Sgi { procs }, w.clone()),
+        ];
+        let render: Render = Box::new(move |ctx| {
+            if !quick {
+                // The experiment is only meaningful when the initial 2-opt
+                // bound is beatable, so the shared bound actually updates.
+                let t = tsp::Tsp::new(cities);
+                if t.greedy_bound() <= t.optimal() {
+                    return Err(format!(
+                        "TSP-{cities} greedy bound is already optimal; the eager-release \
+                         ablation would measure nothing"
+                    ));
+                }
+            }
+            let dec = ctx.wsecs(&req(Platform::Dec, w.clone()))?;
+            let lazy = ctx.wsecs(&req(Platform::treadmarks(procs), w.clone()))?;
+            let eag = ctx.wsecs(&req(eager.clone(), w.clone()))?;
+            let sgi1 = ctx.wsecs(&req(Platform::Sgi { procs: 1 }, w.clone()))?;
+            let sgi = ctx.wsecs(&req(Platform::Sgi { procs }, w.clone()))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "TSP-{cities} at {procs} processors (speedups; bound improves during search):"
+            )
+            .unwrap();
+            writeln!(out, "  TreadMarks lazy release:  {:.2}", dec / lazy).unwrap();
+            writeln!(out, "  TreadMarks eager bound:   {:.2}", dec / eag).unwrap();
+            writeln!(out, "  SGI 4D/480:               {:.2}", sgi1 / sgi).unwrap();
+            Ok(out)
+        });
+        sections.push(Section::new("tsp-eager", requests, render));
+    }
+
+    // §2.4.4: kernel-level TreadMarks.
+    {
+        let kernel = Platform::AsCluster {
+            procs,
+            part1: true,
+            so: Some(SoftwareOverhead::ultrix_kernel()),
+            tuning: DsmTuning::default(),
+        };
+        let mwater = WorkloadSpec::Water {
+            modified: true,
+            tiny: quick,
+        };
+        let sor_w = if quick {
+            WorkloadSpec::SorTiny
+        } else {
+            WorkloadSpec::SorSmall
+        };
+        let mut requests = Vec::new();
+        for w in [&mwater, &sor_w] {
+            requests.push(req(Platform::Dec, w.clone()));
+            requests.push(req(Platform::treadmarks(procs), w.clone()));
+            requests.push(req(kernel.clone(), w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "user-level vs kernel-level TreadMarks ({procs}-processor speedups):"
+            )
+            .unwrap();
+            let dec = ctx.wsecs(&req(Platform::Dec, mwater.clone()))?;
+            let user = ctx.wsecs(&req(Platform::treadmarks(procs), mwater.clone()))?;
+            let kern = ctx.wsecs(&req(kernel.clone(), mwater.clone()))?;
+            writeln!(out, "  M-Water: user {:.2} -> kernel {:.2}", dec / user, dec / kern)
+                .unwrap();
+            let dec = ctx.wsecs(&req(Platform::Dec, sor_w.clone()))?;
+            let user = ctx.wsecs(&req(Platform::treadmarks(procs), sor_w.clone()))?;
+            let kern = ctx.wsecs(&req(kernel.clone(), sor_w.clone()))?;
+            writeln!(
+                out,
+                "  SOR:     user {:.2} -> kernel {:.2} (low communication: small gain)",
+                dec / user,
+                dec / kern
+            )
+            .unwrap();
+            Ok(out)
+        });
+        sections.push(Section::new("kernel-level", requests, render));
+    }
+
+    // §2.4.2: SOR with every point changing every iteration.
+    {
+        let edges = if quick {
+            WorkloadSpec::SorTiny
+        } else {
+            WorkloadSpec::SorSmall
+        };
+        let allchg = WorkloadSpec::SorAllChanging { tiny: quick };
+        let label = if quick { "SOR tiny" } else { "SOR 1024x1024" };
+        let mut requests = Vec::new();
+        for w in [&edges, &allchg] {
+            requests.push(req(Platform::Dec, w.clone()));
+            requests.push(req(Platform::Sgi { procs: 1 }, w.clone()));
+            requests.push(req(Platform::treadmarks(procs), w.clone()));
+            requests.push(req(Platform::Sgi { procs }, w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(out, "{label}, every point changing every iteration:").unwrap();
+            for (tag, w) in [("edges-only init: ", &edges), ("all-changing init:", &allchg)] {
+                let dec = ctx.wsecs(&req(Platform::Dec, w.clone()))?;
+                let sgi1 = ctx.wsecs(&req(Platform::Sgi { procs: 1 }, w.clone()))?;
+                let tmk = ctx.wsecs(&req(Platform::treadmarks(procs), w.clone()))?;
+                let sgi = ctx.wsecs(&req(Platform::Sgi { procs }, w.clone()))?;
+                writeln!(
+                    out,
+                    "  {tag} TreadMarks {:.2}  SGI {:.2}",
+                    dec / tmk,
+                    sgi1 / sgi
+                )
+                .unwrap();
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("sor-allchanging", requests, render));
+    }
+
+    // HS node-size sensitivity.
+    {
+        let w = WorkloadSpec::Water {
+            modified: true,
+            tiny: quick,
+        };
+        let total = if quick { 4usize } else { 32 };
+        let per_nodes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8] };
+        let mut requests = vec![req(Platform::as_sim(1), w.clone())];
+        for &pn in &per_nodes {
+            requests.push(req(Platform::hs_sim(total / pn, pn), w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "HS node size at {total} processors (M-Water speedup over 1 node-processor):"
+            )
+            .unwrap();
+            let base = ctx.wsecs(&req(Platform::as_sim(1), w.clone()))?;
+            for &pn in &per_nodes {
+                let s = ctx.wsecs(&req(Platform::hs_sim(total / pn, pn), w.clone()))?;
+                writeln!(out, "  {pn} procs/node: {:.2}", base / s).unwrap();
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("hs-node-size", requests, render));
+    }
+
+    // AS page-size sensitivity.
+    {
+        let w = WorkloadSpec::Water {
+            modified: true,
+            tiny: quick,
+        };
+        let n = if quick { 4usize } else { 16 };
+        let pages = [1024usize, 4096, 16384];
+        let paged = move |page: usize| Platform::AsCluster {
+            procs: n,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                page_size: Some(page),
+                ..Default::default()
+            },
+        };
+        let mut requests = vec![req(Platform::as_sim(1), w.clone())];
+        for page in pages {
+            requests.push(req(paged(page), w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(out, "AS page-size sensitivity (M-Water at {n} processors):").unwrap();
+            let base = ctx.wsecs(&req(Platform::as_sim(1), w.clone()))?;
+            for page in pages {
+                let s = ctx.wsecs(&req(paged(page), w.clone()))?;
+                writeln!(out, "  {page:>6}-byte pages: {:.2}", base / s).unwrap();
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("page-size", requests, render));
+    }
+
+    // LRC vs IVY-style sequential consistency.
+    {
+        let ivy = Platform::AsCluster {
+            procs,
+            part1: true,
+            so: None,
+            tuning: DsmTuning {
+                protocol: DsmProtocol::Ivy,
+                ..Default::default()
+            },
+        };
+        let rows: Vec<(&'static str, WorkloadSpec)> = if quick {
+            vec![
+                ("SOR tiny:      ", WorkloadSpec::SorTiny),
+                (
+                    "M-Water tiny:  ",
+                    WorkloadSpec::Water {
+                        modified: true,
+                        tiny: true,
+                    },
+                ),
+                ("TSP-10:        ", WorkloadSpec::Tsp { cities: 10 }),
+            ]
+        } else {
+            vec![
+                ("SOR 1024x1024: ", WorkloadSpec::SorSmall),
+                (
+                    "M-Water:       ",
+                    WorkloadSpec::Water {
+                        modified: true,
+                        tiny: false,
+                    },
+                ),
+                ("TSP-17:        ", WorkloadSpec::Tsp { cities: 17 }),
+            ]
+        };
+        let mut requests = Vec::new();
+        for (_, w) in &rows {
+            requests.push(req(Platform::Dec, w.clone()));
+            requests.push(req(Platform::treadmarks(procs), w.clone()));
+            requests.push(req(ivy.clone(), w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "LRC (TreadMarks) vs sequential-consistency DSM (IVY), {procs} processors:"
+            )
+            .unwrap();
+            for (tag, w) in &rows {
+                let dec = ctx.wsecs(&req(Platform::Dec, w.clone()))?;
+                let lrc = ctx.wsecs(&req(Platform::treadmarks(procs), w.clone()))?;
+                let ivy_s = ctx.wsecs(&req(ivy.clone(), w.clone()))?;
+                writeln!(out, "  {tag}LRC {:.2}  IVY {:.2}", dec / lrc, dec / ivy_s).unwrap();
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("lrc-vs-ivy", requests, render));
+    }
+
+    // Determinism: the same request at two instances runs twice (distinct
+    // memo keys) and must produce identical simulated clocks.
+    {
+        let w = WorkloadSpec::SorTiny;
+        let a = req(Platform::treadmarks(4), w.clone());
+        let b = JobRequest {
+            instance: 1,
+            ..a.clone()
+        };
+        let requests = vec![a.clone(), b.clone()];
+        let render: Render = Box::new(move |ctx| {
+            let ca = ctx.report(&a)?.cycles;
+            let cb = ctx.report(&b)?.cycles;
+            let mut out = String::new();
+            writeln!(out, "determinism: two identical runs -> {ca} and {cb} cycles").unwrap();
+            if ca != cb {
+                return Err(format!(
+                    "simulator is nondeterministic: {ca} != {cb} cycles"
+                ));
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("determinism", requests, render));
+    }
+
+    Experiment {
+        id: "ablations",
+        title: "eager release, kernel-level, page size, HS node size, LRC-vs-IVY",
+        default: true,
+        header: None,
+        sections,
+    }
+}
+
+fn calibrate(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    let apps: Vec<(&'static str, Vec<(&'static str, WorkloadSpec)>)> = if quick {
+        vec![
+            ("sor", vec![("SOR tiny", WorkloadSpec::SorTiny)]),
+            ("ilink", vec![("ILINK TINY", WorkloadSpec::IlinkTiny)]),
+            ("tsp", vec![("TSP 10", WorkloadSpec::Tsp { cities: 10 })]),
+            (
+                "water",
+                vec![
+                    (
+                        "Water",
+                        WorkloadSpec::Water {
+                            modified: false,
+                            tiny: true,
+                        },
+                    ),
+                    (
+                        "M-Water",
+                        WorkloadSpec::Water {
+                            modified: true,
+                            tiny: true,
+                        },
+                    ),
+                ],
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "sor",
+                vec![
+                    ("SOR 2048x1024", WorkloadSpec::SorLarge),
+                    ("SOR 1024x1024", WorkloadSpec::SorSmall),
+                ],
+            ),
+            (
+                "ilink",
+                vec![
+                    ("ILINK CLP", WorkloadSpec::IlinkClp),
+                    ("ILINK BAD", WorkloadSpec::IlinkBad),
+                ],
+            ),
+            (
+                "tsp",
+                vec![
+                    ("TSP 17", WorkloadSpec::Tsp { cities: 17 }),
+                    ("TSP 18", WorkloadSpec::Tsp { cities: 18 }),
+                ],
+            ),
+            (
+                "water",
+                vec![
+                    (
+                        "Water",
+                        WorkloadSpec::Water {
+                            modified: false,
+                            tiny: false,
+                        },
+                    ),
+                    (
+                        "M-Water",
+                        WorkloadSpec::Water {
+                            modified: true,
+                            tiny: false,
+                        },
+                    ),
+                ],
+            ),
+        ]
+    };
+    let procs = if quick { 4usize } else { 8 };
+    let sections = apps
+        .into_iter()
+        .map(|(id, probes)| {
+            let mut requests = Vec::new();
+            for (_, w) in &probes {
+                requests.push(req(Platform::Dec, w.clone()));
+                requests.push(req(Platform::Sgi { procs: 1 }, w.clone()));
+                requests.push(req(Platform::Sgi { procs }, w.clone()));
+                requests.push(req(Platform::treadmarks(1), w.clone()));
+                requests.push(req(Platform::treadmarks(procs), w.clone()));
+            }
+            let render: Render = Box::new(move |ctx| {
+                let mut out = String::new();
+                for (name, w) in &probes {
+                    let dec = ctx.wsecs(&req(Platform::Dec, w.clone()))?;
+                    let wall_dec = ctx.job(&req(Platform::Dec, w.clone()))?.host_ms / 1e3;
+                    let sgi1 = ctx.secs(&req(Platform::Sgi { procs: 1 }, w.clone()))?;
+                    let sgi8 = ctx.wsecs(&req(Platform::Sgi { procs }, w.clone()))?;
+                    let wall_sgi = (ctx.job(&req(Platform::Sgi { procs: 1 }, w.clone()))?.host_ms
+                        + ctx.job(&req(Platform::Sgi { procs }, w.clone()))?.host_ms)
+                        / 1e3;
+                    let tmk1 = ctx.secs(&req(Platform::treadmarks(1), w.clone()))?;
+                    let r8 = ctx.report(&req(Platform::treadmarks(procs), w.clone()))?;
+                    let tmk8 = r8.window_seconds();
+                    let wall_tmk = (ctx.job(&req(Platform::treadmarks(1), w.clone()))?.host_ms
+                        + ctx.job(&req(Platform::treadmarks(procs), w.clone()))?.host_ms)
+                        / 1e3;
+                    let t = r8.window_traffic();
+                    let secs = r8.window_seconds();
+                    writeln!(
+                        out,
+                        "{name:<14} dec1={dec:>7.2}s sgi1={sgi1:>7.2}s tmk1={tmk1:>7.2}s | \
+                         sgi{procs} su={:>5.2} tmk{procs} su={:>5.2} | \
+                         msg/s={:>8.0} KB/s={:>7.0} | wall {wall_dec:.1}/{wall_sgi:.1}/{wall_tmk:.1}s",
+                        dec / sgi8,
+                        dec / tmk8,
+                        t.total_msgs() as f64 / secs,
+                        t.total_bytes() as f64 / 1024.0 / secs,
+                    )
+                    .unwrap();
+                    let s = r8.dsm;
+                    writeln!(
+                        out,
+                        "{:<14} tmk{procs}: barriers/s={:.1} remote-locks/s={:.0} diffs={} pages={} twins={}",
+                        "",
+                        s.barriers as f64 / procs as f64 / secs,
+                        s.remote_lock_acquires as f64 / secs,
+                        s.diffs_created,
+                        s.full_page_fetches,
+                        s.twins_created,
+                    )
+                    .unwrap();
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+    Experiment {
+        id: "calibrate",
+        title: "parameter sanity probes with host wall times (not a figure)",
+        default: false,
+        header: None,
+        sections,
+    }
+}
+
+/// Every experiment of the case study at the given tier, in print order.
+pub fn registry(tier: Tier) -> Vec<Experiment> {
+    vec![
+        table1(tier),
+        table2(tier),
+        fig01_08(tier),
+        fig09_11(tier),
+        fig12_13(tier),
+        fig14_16(tier),
+        ablations(tier),
+        calibrate(tier),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Suite execution
+// ---------------------------------------------------------------------------
+
+/// What to run and how, resolved from CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Input scale: `Full` reproduces the paper, `Quick` is the CI smoke tier.
+    pub tier: Tier,
+    /// Worker threads; 0 means one per host core.
+    pub jobs: usize,
+    /// Experiment ids to run; empty means every default experiment.
+    pub experiments: Vec<String>,
+    /// Substring filters over full `experiment/section` names.
+    pub filters: Vec<String>,
+    /// Substring filters over section ids only (legacy `--fig`/`--app`).
+    pub section_filters: Vec<String>,
+}
+
+impl Default for Tier {
+    fn default() -> Self {
+        Tier::Full
+    }
+}
+
+/// One section after rendering.
+#[derive(Debug)]
+pub struct SectionOutcome {
+    /// Full `experiment/section` name.
+    pub name: String,
+    /// Memo keys of the runs this section consumed.
+    pub keys: Vec<String>,
+    /// Why rendering failed, if it did (a failed run or a violated check).
+    pub error: Option<String>,
+}
+
+/// One experiment after rendering.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Experiment id (`"table1"`, `"fig01_08"`, ...).
+    pub id: &'static str,
+    /// The rendered text, byte-compatible with the former per-binary output.
+    pub text: String,
+    /// Per-section outcomes in print order.
+    pub sections: Vec<SectionOutcome>,
+}
+
+/// Everything a suite run produced.
+#[derive(Debug)]
+pub struct SuiteResult {
+    /// Tier the suite ran at.
+    pub tier: Tier,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Rendered experiments in registry order.
+    pub experiments: Vec<ExperimentOutcome>,
+    /// Every unique run, sorted by memo key.
+    pub runs: Vec<JobResult>,
+    /// Total job requests before memoization.
+    pub requests: usize,
+    /// Requests answered from the memo table.
+    pub memo_hits: usize,
+    /// Host wall-clock for the whole suite, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SuiteResult {
+    /// Memo keys of runs whose workload failed (panicked).
+    pub fn failed_runs(&self) -> Vec<&str> {
+        self.runs
+            .iter()
+            .filter(|r| r.data.is_err())
+            .map(|r| r.key.as_str())
+            .collect()
+    }
+
+    /// Names of sections whose render reported an error.
+    pub fn failed_sections(&self) -> Vec<&str> {
+        self.experiments
+            .iter()
+            .flat_map(|e| e.sections.iter())
+            .filter(|s| s.error.is_some())
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// True when every run and every section succeeded.
+    pub fn ok(&self) -> bool {
+        self.failed_runs().is_empty() && self.failed_sections().is_empty()
+    }
+
+    /// The machine-readable suite summary (`BENCH_results.json`).
+    pub fn bench_json(&self) -> Json {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Json::obj()
+            .set("schema", "tmk-bench/1")
+            .set("tier", self.tier.as_str())
+            .set("jobs", self.jobs)
+            .set("host_parallelism", host)
+            .set(
+                "experiments",
+                Json::Arr(
+                    self.experiments
+                        .iter()
+                        .map(|e| Json::from(e.id))
+                        .collect(),
+                ),
+            )
+            .set("requests", self.requests)
+            .set("unique_runs", self.runs.len())
+            .set("memo_hits", self.memo_hits)
+            .set(
+                "failed_runs",
+                Json::Arr(self.failed_runs().into_iter().map(Json::from).collect()),
+            )
+            .set(
+                "failed_sections",
+                Json::Arr(
+                    self.failed_sections().into_iter().map(Json::from).collect(),
+                ),
+            )
+            .set(
+                "total_host_ms",
+                self.runs.iter().map(|r| r.host_ms).sum::<f64>(),
+            )
+            .set("wall_ms", self.wall_ms)
+            .set(
+                "runs",
+                Json::Arr(self.runs.iter().map(run_json).collect()),
+            )
+    }
+
+    /// The machine-readable record for one experiment (`results/<id>.json`).
+    pub fn experiment_json(&self, id: &str) -> Option<Json> {
+        let exp = self.experiments.iter().find(|e| e.id == id)?;
+        let mut keys: Vec<&str> = exp
+            .sections
+            .iter()
+            .flat_map(|s| s.keys.iter().map(String::as_str))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let runs: Vec<Json> = self
+            .runs
+            .iter()
+            .filter(|r| keys.binary_search(&r.key.as_str()).is_ok())
+            .map(run_json)
+            .collect();
+        Some(
+            Json::obj()
+                .set("schema", "tmk-bench/1")
+                .set("experiment", exp.id)
+                .set("tier", self.tier.as_str())
+                .set(
+                    "sections",
+                    Json::Arr(
+                        exp.sections
+                            .iter()
+                            .map(|s| {
+                                let mut j = Json::obj()
+                                    .set("name", s.name.as_str())
+                                    .set(
+                                        "status",
+                                        if s.error.is_none() { "ok" } else { "failed" },
+                                    );
+                                if let Some(e) = &s.error {
+                                    j = j.set("error", e.as_str());
+                                }
+                                j.set(
+                                    "runs",
+                                    Json::Arr(
+                                        s.keys.iter().map(|k| Json::from(k.as_str())).collect(),
+                                    ),
+                                )
+                            })
+                            .collect(),
+                    ),
+                )
+                .set("runs", Json::Arr(runs)),
+        )
+    }
+}
+
+fn run_json(r: &JobResult) -> Json {
+    let mut j = Json::obj()
+        .set("key", r.key.as_str())
+        .set("platform", r.platform.as_str())
+        .set("platform_name", r.platform_name)
+        .set("workload", r.workload.as_str())
+        .set("params", r.params.as_str())
+        .set("procs", r.procs)
+        .set(
+            "status",
+            if r.data.is_ok() { "ok" } else { "failed" },
+        )
+        .set("host_ms", r.host_ms);
+    match &r.data {
+        Ok(d) => {
+            j = j.set("checksum", d.checksums.iter().sum::<f64>());
+            j.set("report", d.report.to_json())
+        }
+        Err(e) => j.set("error", e.as_str()),
+    }
+}
+
+/// Run the selected experiments: expand the registry, schedule every request
+/// across `opts.jobs` workers with memoization, then render each section.
+///
+/// Returns `Err` only for unusable options (an unknown experiment id); runs
+/// that panic or sections that fail to render are captured in the result, not
+/// fatal.
+pub fn run_suite(opts: &Options) -> Result<SuiteResult, String> {
+    let started = std::time::Instant::now();
+    let mut registry = registry(opts.tier);
+    let known: Vec<&str> = registry.iter().map(|e| e.id).collect();
+    for id in &opts.experiments {
+        if !known.contains(&id.as_str()) {
+            return Err(format!(
+                "unknown experiment '{id}' (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    registry.retain(|e| {
+        if opts.experiments.is_empty() {
+            e.default
+        } else {
+            opts.experiments.iter().any(|id| id == e.id)
+        }
+    });
+
+    // Select sections, then drop experiments left empty.
+    let no_filters = opts.filters.is_empty() && opts.section_filters.is_empty();
+    for exp in &mut registry {
+        let exp_id = exp.id;
+        exp.sections.retain(|sec| {
+            if no_filters {
+                return true;
+            }
+            let sec_id = if sec.id.is_empty() { exp_id } else { sec.id };
+            let full = if sec.id.is_empty() {
+                exp_id.to_string()
+            } else {
+                format!("{exp_id}/{}", sec.id)
+            };
+            opts.filters.iter().any(|f| full.contains(f.as_str()))
+                || opts
+                    .section_filters
+                    .iter()
+                    .any(|f| sec_id.contains(f.as_str()))
+        });
+    }
+    registry.retain(|e| !e.sections.is_empty());
+
+    let requests: Vec<JobRequest> = registry
+        .iter()
+        .flat_map(|e| e.sections.iter())
+        .flat_map(|s| s.requests.iter().cloned())
+        .collect();
+    let total_requests = requests.len();
+    let jobs = resolve_jobs(opts.jobs);
+    let memo = run_jobs(&requests, jobs);
+
+    let ctx = Ctx { memo: &memo };
+    let mut experiments = Vec::new();
+    for exp in &registry {
+        let mut text = String::new();
+        if let Some(h) = &exp.header {
+            text.push_str(h);
+        }
+        let mut sections = Vec::new();
+        for sec in &exp.sections {
+            let name = exp.section_name(sec);
+            let mut keys: Vec<String> = sec.requests.iter().map(JobRequest::key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            match (sec.render)(&ctx) {
+                Ok(s) => {
+                    text.push_str(&s);
+                    sections.push(SectionOutcome {
+                        name,
+                        keys,
+                        error: None,
+                    });
+                }
+                Err(e) => {
+                    let _ = writeln!(text, "!! {name}: {e}");
+                    sections.push(SectionOutcome {
+                        name,
+                        keys,
+                        error: Some(e),
+                    });
+                }
+            }
+        }
+        experiments.push(ExperimentOutcome {
+            id: exp.id,
+            text,
+            sections,
+        });
+    }
+
+    Ok(SuiteResult {
+        tier: opts.tier,
+        jobs,
+        experiments,
+        runs: memo.sorted_runs().into_iter().cloned().collect(),
+        requests: total_requests,
+        memo_hits: memo.hits,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Entry point for the legacy per-experiment binaries: run one experiment at
+/// the full tier, print its text, and exit non-zero on any failure.
+///
+/// Bare arguments and the legacy `--fig N` / `--app NAME` flags become
+/// section filters, so e.g. `fig01_08 --fig 3` still prints only Figure 3.
+pub fn shim_main(experiment: &'static str) -> ! {
+    let mut section_filters = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fig" => {
+                let n = args.next().unwrap_or_default();
+                section_filters.push(format!("fig{n}"));
+            }
+            "--app" => section_filters.push(args.next().unwrap_or_default()),
+            other => section_filters.push(other.trim_start_matches('-').to_string()),
+        }
+    }
+    let opts = Options {
+        tier: Tier::Full,
+        jobs: 0,
+        experiments: vec![experiment.to_string()],
+        filters: Vec::new(),
+        section_filters,
+    };
+    match run_suite(&opts) {
+        Ok(suite) => {
+            for e in &suite.experiments {
+                print!("{}", e.text);
+            }
+            if suite.ok() {
+                std::process::exit(0);
+            }
+            for k in suite.failed_runs() {
+                eprintln!("failed run: {k}");
+            }
+            for s in suite.failed_sections() {
+                eprintln!("failed section: {s}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -2,16 +2,21 @@
 //! ISCA'94 case study. See `DESIGN.md` §3 for the experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 //!
-//! Binaries (`cargo run -p tmk-bench --release --bin <name>`):
+//! All experiments live in the declarative registry of [`driver`] and run
+//! through the unified CLI:
 //!
-//! * `table1` — single-processor execution times (DEC, DEC+TreadMarks, SGI)
-//! * `table2` — 8-processor TreadMarks execution statistics
-//! * `fig01_08` — speedups 1–8 processors, TreadMarks vs SGI 4D/480
-//! * `fig09_11` — speedups 8–64 processors, AS vs AH vs HS
-//! * `fig12_13` — message and data totals, HS vs AS at 64 processors
-//! * `fig14_16` — software-overhead sweeps (Peregrine/SHRIMP-like points)
-//! * `ablations` — eager release, kernel-level TreadMarks, page size,
-//!   HS node size, diff-vs-page propagation
+//! ```text
+//! cargo run -p tmk-bench --release --bin suite -- \
+//!     [--experiment ID]... [--filter SUBSTR]... [--jobs N] [--quick] [--json]
+//! ```
+//!
+//! which fans independent (platform, workload) runs across host cores,
+//! memoizes repeated baselines, and can emit `results/*.json` plus
+//! `BENCH_results.json`. The historical per-experiment binaries (`table1`,
+//! `table2`, `fig01_08`, `fig09_11`, `fig12_13`, `fig14_16`, `ablations`,
+//! `calibrate`) remain as thin shims over the same registry.
+
+pub mod driver;
 
 use tmk_machines::{run_workload, Outcome, Platform};
 use tmk_parmacs::Workload;

@@ -1,0 +1,143 @@
+//! Integration tests for the unified experiment driver: memoization,
+//! worker-count-independent results, failed-job isolation, and the JSON
+//! records it emits.
+
+use tmk_bench::driver::{
+    run_jobs, run_suite, JobRequest, Options, SuiteResult, Tier, WorkloadSpec,
+};
+use tmk_machines::{Json, Platform};
+
+fn quick_opts(jobs: usize) -> Options {
+    Options {
+        tier: Tier::Quick,
+        jobs,
+        ..Default::default()
+    }
+}
+
+/// The per-run records of a suite keyed by memo key, with the host-dependent
+/// `host_ms` field removed so runs can be compared across worker counts.
+fn simulated_records(suite: &SuiteResult) -> Vec<(String, String)> {
+    suite
+        .runs
+        .iter()
+        .map(|r| {
+            let data = r.data.as_ref().expect("quick tier has no failing runs");
+            let record = Json::obj()
+                .set("checksum", data.checksums.iter().sum::<f64>())
+                .set("report", data.report.to_json());
+            (r.key.clone(), record.render())
+        })
+        .collect()
+}
+
+#[test]
+fn baseline_runs_are_memoized() {
+    let a = JobRequest::new(Platform::Dec, WorkloadSpec::SorTiny);
+    let b = JobRequest::new(Platform::treadmarks(2), WorkloadSpec::SorTiny);
+    // Three identical DEC baselines plus one distinct run: 4 requests must
+    // execute only 2 simulations.
+    let memo = run_jobs(&[a.clone(), a.clone(), b.clone(), a.clone()], 2);
+    assert_eq!(memo.hits, 2);
+    assert_eq!(memo.unique_runs(), 2);
+    assert!(memo.get(&a).unwrap().data.is_ok());
+    assert!(memo.get(&b).unwrap().data.is_ok());
+}
+
+#[test]
+fn panicking_job_fails_alone() {
+    let probe = JobRequest::new(Platform::Dec, WorkloadSpec::PanicProbe);
+    let good = JobRequest::new(Platform::Dec, WorkloadSpec::SorTiny);
+    let memo = run_jobs(&[probe.clone(), good.clone()], 2);
+    let failed = memo.get(&probe).unwrap();
+    let err = failed.data.as_ref().unwrap_err();
+    assert!(err.contains("deliberate panic probe"), "got: {err}");
+    assert!(memo.get(&good).unwrap().data.is_ok(), "bystander job died");
+}
+
+#[test]
+fn suite_results_do_not_depend_on_worker_count() {
+    let serial = run_suite(&quick_opts(1)).unwrap();
+    let parallel = run_suite(&quick_opts(8)).unwrap();
+    assert!(serial.ok(), "failed: {:?}", serial.failed_sections());
+    assert!(parallel.ok(), "failed: {:?}", parallel.failed_sections());
+
+    // Identical rendered text...
+    let texts = |s: &SuiteResult| {
+        s.experiments
+            .iter()
+            .map(|e| (e.id, e.text.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(texts(&serial), texts(&parallel));
+    // ...and byte-identical simulated records for every run.
+    let (s_recs, p_recs) = (simulated_records(&serial), simulated_records(&parallel));
+    let s_keys: Vec<&str> = s_recs.iter().map(|(k, _)| k.as_str()).collect();
+    let p_keys: Vec<&str> = p_recs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(s_keys, p_keys);
+    for ((key, a), (_, b)) in s_recs.iter().zip(&p_recs) {
+        assert_eq!(a, b, "run '{key}' differs between 1 and 8 workers");
+    }
+    assert!(serial.memo_hits > 0, "quick tier shares baselines");
+}
+
+#[test]
+fn bench_json_is_parseable_and_complete() {
+    let suite = run_suite(&Options {
+        tier: Tier::Quick,
+        jobs: 2,
+        experiments: vec!["table1".into()],
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(suite.ok());
+
+    let j = Json::parse(&suite.bench_json().render_pretty(2)).unwrap();
+    assert_eq!(j.get("schema").and_then(Json::as_str), Some("tmk-bench/1"));
+    assert_eq!(j.get("tier").and_then(Json::as_str), Some("quick"));
+    let runs = j.get("runs").and_then(Json::as_arr).unwrap();
+    assert_eq!(runs.len(), suite.runs.len());
+    for run in runs {
+        assert_eq!(run.get("status").and_then(Json::as_str), Some("ok"));
+        // Host wall time and the simulated report ride along on each record.
+        assert!(run.get("host_ms").and_then(Json::as_f64).is_some());
+        let report = run.get("report").unwrap();
+        assert!(report.get("sim_seconds").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    let exp = suite.experiment_json("table1").unwrap();
+    let exp = Json::parse(&exp.render()).unwrap();
+    assert_eq!(
+        exp.get("experiment").and_then(Json::as_str),
+        Some("table1")
+    );
+    assert!(suite.experiment_json("no-such-experiment").is_none());
+}
+
+#[test]
+fn section_filters_select_single_figures() {
+    let suite = run_suite(&Options {
+        tier: Tier::Quick,
+        jobs: 2,
+        experiments: vec!["fig01_08".into()],
+        section_filters: vec!["fig3".into()],
+        ..Default::default()
+    })
+    .unwrap();
+    assert_eq!(suite.experiments.len(), 1);
+    let exp = &suite.experiments[0];
+    assert_eq!(exp.sections.len(), 1);
+    assert_eq!(exp.sections[0].name, "fig01_08/fig3");
+    assert!(exp.text.contains("Figure 3"));
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let err = run_suite(&Options {
+        experiments: vec!["fig99".into()],
+        ..Default::default()
+    })
+    .unwrap_err();
+    assert!(err.contains("fig99"), "got: {err}");
+    assert!(err.contains("table1"), "should list known ids: {err}");
+}

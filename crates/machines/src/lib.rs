@@ -17,11 +17,13 @@
 mod dsm;
 mod hw;
 mod hybrid;
+pub mod json;
 mod report;
 mod run;
 
 pub use dsm::{DsmMachine, DsmParams, DsmProtocol, DsmSys};
 pub use hw::{HwKind, HwMachine, HwParams};
 pub use hybrid::{HsMachine, HsParams};
+pub use json::Json;
 pub use report::{Outcome, RunReport};
 pub use run::{run_on, run_workload, DsmTuning, Platform};

@@ -1,7 +1,8 @@
 //! Run results and measurement reports.
 
-use tmk_core::Traffic;
+use crate::json::Json;
 use tmk_core::NodeStats;
+use tmk_core::Traffic;
 use tmk_mem::{BusStats, CacheStats, DirectoryStats};
 use tmk_sim::Cycle;
 
@@ -67,6 +68,92 @@ impl RunReport {
             header_bytes: t.header_bytes - m.header_bytes,
         }
     }
+
+    /// The full report as a JSON object, for `results/*.json` and
+    /// `BENCH_results.json` records.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .set("procs", self.procs)
+            .set("clock_hz", self.clock_hz)
+            .set("cycles", self.cycles)
+            .set("mark_cycles", self.mark_cycles)
+            .set("sim_seconds", self.seconds())
+            .set("window_seconds", self.window_seconds())
+            .set(
+                "proc_cycles",
+                Json::Arr(self.proc_cycles.iter().map(|&c| Json::UInt(c)).collect()),
+            )
+            .set("traffic", traffic_json(&self.traffic))
+            .set("window_traffic", traffic_json(&self.window_traffic()))
+            .set("dsm", node_stats_json(&self.dsm))
+            .set(
+                "cache",
+                Json::obj()
+                    .set("hits", self.cache.hits)
+                    .set("misses", self.cache.misses)
+                    .set("upgrades", self.cache.upgrades)
+                    .set("evictions", self.cache.evictions)
+                    .set("dirty_evictions", self.cache.dirty_evictions),
+            );
+        j = j.set(
+            "bus",
+            match &self.bus {
+                None => Json::Null,
+                Some(b) => Json::obj()
+                    .set("transactions", b.transactions)
+                    .set("busy_cycles", b.busy_cycles)
+                    .set("cache_supplies", b.cache_supplies)
+                    .set("memory_supplies", b.memory_supplies)
+                    .set("invalidations", b.invalidations)
+                    .set("writebacks", b.writebacks)
+                    .set("data_bytes", b.data_bytes),
+            },
+        );
+        j.set(
+            "directory",
+            match &self.directory {
+                None => Json::Null,
+                Some(d) => Json::obj()
+                    .set("local_misses", d.local_misses)
+                    .set("remote_clean_misses", d.remote_clean_misses)
+                    .set("remote_dirty_misses", d.remote_dirty_misses)
+                    .set("upgrades", d.upgrades)
+                    .set("invalidations", d.invalidations)
+                    .set("remote_bytes", d.remote_bytes),
+            },
+        )
+    }
+}
+
+fn traffic_json(t: &Traffic) -> Json {
+    Json::obj()
+        .set("total_msgs", t.total_msgs())
+        .set("miss_msgs", t.miss_msgs)
+        .set("lock_msgs", t.lock_msgs)
+        .set("barrier_msgs", t.barrier_msgs)
+        .set("update_msgs", t.update_msgs)
+        .set("total_bytes", t.total_bytes())
+        .set("miss_bytes", t.miss_bytes)
+        .set("consistency_bytes", t.consistency_bytes)
+        .set("header_bytes", t.header_bytes)
+}
+
+fn node_stats_json(s: &NodeStats) -> Json {
+    Json::obj()
+        .set("local_lock_acquires", s.local_lock_acquires)
+        .set("remote_lock_acquires", s.remote_lock_acquires)
+        .set("lock_releases", s.lock_releases)
+        .set("barriers", s.barriers)
+        .set("read_faults", s.read_faults)
+        .set("write_faults", s.write_faults)
+        .set("full_page_fetches", s.full_page_fetches)
+        .set("diff_requests", s.diff_requests)
+        .set("diffs_applied", s.diffs_applied)
+        .set("diffs_created", s.diffs_created)
+        .set("diff_bytes_created", s.diff_bytes_created)
+        .set("twins_created", s.twins_created)
+        .set("intervals_closed", s.intervals_closed)
+        .set("notices_received", s.notices_received)
 }
 
 #[cfg(test)]
@@ -87,5 +174,25 @@ mod tests {
         assert_eq!(r.seconds(), 10.0);
         assert_eq!(r.window_seconds(), 8.0);
         assert_eq!(r.window_traffic().miss_msgs, 6);
+    }
+
+    #[test]
+    fn report_json_fields() {
+        let mut r = RunReport {
+            procs: 4,
+            clock_hz: 1000,
+            cycles: 5000,
+            ..Default::default()
+        };
+        r.traffic.miss_msgs = 3;
+        r.traffic.header_bytes = 96;
+        let j = r.to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(5000));
+        assert_eq!(j.get("sim_seconds").and_then(Json::as_f64), Some(5.0));
+        let t = j.get("traffic").expect("traffic object");
+        assert_eq!(t.get("total_msgs").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("bus"), Some(&Json::Null));
+        // The record round-trips through the hand-rolled renderer/parser.
+        assert_eq!(Json::parse(&j.render()).unwrap(), j);
     }
 }

@@ -94,6 +94,54 @@ impl Platform {
         }
     }
 
+    /// A stable identity string: equal keys mean runs are interchangeable
+    /// (same parameters, same simulated result), so benchmark drivers can
+    /// memoize on it. Every knob that affects timing contributes a fragment.
+    pub fn key(&self) -> String {
+        fn frags(so: &Option<SoftwareOverhead>, tuning: &DsmTuning) -> String {
+            let mut s = String::new();
+            if let Some(so) = so {
+                s.push_str(&format!(
+                    "/so{}-{}-{}-{}-{}",
+                    so.fixed_send, so.fixed_recv, so.per_word, so.handler, so.diff_per_word
+                ));
+            }
+            if let Some(page) = tuning.page_size {
+                s.push_str(&format!("/pg{page}"));
+            }
+            if tuning.eager_all {
+                s.push_str("/ea");
+            } else if !tuning.eager_locks.is_empty() {
+                let ids: Vec<String> = tuning.eager_locks.iter().map(|l| l.to_string()).collect();
+                s.push_str(&format!("/el{}", ids.join(",")));
+            }
+            if matches!(tuning.protocol, crate::dsm::DsmProtocol::Ivy) {
+                s.push_str("/ivy");
+            }
+            s
+        }
+        match self {
+            Platform::Dec => "dec".to_string(),
+            Platform::Sgi { procs } => format!("sgi/p{procs}"),
+            Platform::Ah { procs } => format!("ah/p{procs}"),
+            Platform::AsCluster {
+                procs,
+                part1,
+                so,
+                tuning,
+            } => {
+                let base = if *part1 { "tmk" } else { "as" };
+                format!("{base}/p{procs}{}", frags(so, tuning))
+            }
+            Platform::Hs {
+                nodes,
+                per_node,
+                so,
+                tuning,
+            } => format!("hs/n{nodes}x{per_node}{}", frags(so, tuning)),
+        }
+    }
+
     /// Convenience constructor for the Part-1 TreadMarks cluster.
     pub fn treadmarks(procs: usize) -> Platform {
         Platform::AsCluster {
@@ -393,6 +441,41 @@ mod tests {
         let (r, rep) = exercise(Platform::hs_sim(1, 8));
         assert!(r.into_iter().all(|v| v == expected(8)));
         assert_eq!(rep.traffic.total_msgs(), 0);
+    }
+
+    #[test]
+    fn platform_keys_are_distinct_and_stable() {
+        assert_eq!(Platform::Dec.key(), "dec");
+        assert_eq!(Platform::treadmarks(8).key(), "tmk/p8");
+        assert_eq!(Platform::as_sim(8).key(), "as/p8");
+        assert_eq!(Platform::hs_sim(4, 8).key(), "hs/n4x8");
+        let kernel = Platform::AsCluster {
+            procs: 8,
+            part1: true,
+            so: Some(SoftwareOverhead::ultrix_kernel()),
+            tuning: DsmTuning::default(),
+        };
+        assert_ne!(kernel.key(), Platform::treadmarks(8).key());
+        let eager = Platform::AsCluster {
+            procs: 8,
+            part1: true,
+            so: None,
+            tuning: DsmTuning {
+                eager_locks: vec![3],
+                ..Default::default()
+            },
+        };
+        assert_eq!(eager.key(), "tmk/p8/el3");
+        let ivy = Platform::AsCluster {
+            procs: 8,
+            part1: true,
+            so: None,
+            tuning: DsmTuning {
+                protocol: crate::dsm::DsmProtocol::Ivy,
+                ..Default::default()
+            },
+        };
+        assert_eq!(ivy.key(), "tmk/p8/ivy");
     }
 
     #[test]

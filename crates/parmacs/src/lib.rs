@@ -273,6 +273,15 @@ pub trait Workload: Sync {
     /// the allocated structures).
     type Plan: Send + Sync;
 
+    /// Short application name ("sor", "tsp", ...) — stable across inputs,
+    /// used by benchmark drivers to key memoized runs and label records.
+    fn name(&self) -> &'static str;
+
+    /// The input parameters of this instance as a `key=value ...` string,
+    /// so every run can report exactly what it executed (DESIGN.md §3) and
+    /// two instances with different inputs never share a memo entry.
+    fn params(&self) -> String;
+
     /// Shared segment size this workload needs, in bytes.
     fn segment_bytes(&self) -> usize;
 

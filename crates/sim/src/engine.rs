@@ -218,8 +218,14 @@ impl<M: Send> Engine<M> {
 
         let inner = Arc::try_unwrap(self.inner)
             .unwrap_or_else(|_| unreachable!("all processor threads have exited"));
-        let state = inner.state.into_inner();
+        let mut state = inner.state.into_inner();
         debug_assert!(state.sched.all_done());
+        // A remote handler may charge a processor after it finished and did
+        // its last apply_stolen; fold the remainder in so the reported
+        // clocks are host-schedule independent (clocks + stolen always is).
+        for p in 0..nprocs {
+            state.sched.apply_stolen(p);
+        }
         RunResult {
             machine: state.machine,
             clocks: state.sched.clocks,

@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI gate: tier-1 verification plus the quick smoke tier of the experiment
+# suite (tiny inputs, 1-4 processors; covers every default experiment's
+# sections, the scheduler, and the JSON emitters).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== smoke: quick-tier suite =="
+mkdir -p target/smoke
+./target/release/suite --quick --jobs "${JOBS:-$(nproc 2>/dev/null || echo 1)}" \
+    --json --out target/smoke --bench-json target/smoke/BENCH_results.json \
+    > target/smoke/suite.txt
+
+echo "ci: all checks passed"

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates every table and figure of the ISCA'94 reproduction into
-# results/ (see EXPERIMENTS.md for the paper-vs-measured discussion).
+# Regenerates every table and figure of the ISCA'94 reproduction through the
+# unified experiment driver: one build, one suite run fanned across host
+# cores, text and JSON records emitted together into results/ plus the
+# BENCH_results.json suite summary. Exits non-zero if any simulated run or
+# any rendered section fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-for b in table1 table2 fig01_08 fig09_11 fig12_13 fig14_16 ablations; do
-  echo "== $b"
-  cargo run --release -q -p tmk-bench --bin "$b" | tee "results/$b.txt"
-done
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 1)}
+
+cargo build --release -p tmk-bench
+
+./target/release/suite \
+    --jobs "$JOBS" \
+    --json --out results --bench-json BENCH_results.json
+
+echo "regenerated results/*.{txt,json} and BENCH_results.json"

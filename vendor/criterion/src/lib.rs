@@ -1,0 +1,209 @@
+//! Vendored subset of `criterion`: enough of the benchmarking API
+//! (`criterion_group!`, `criterion_main!`, groups, `Bencher::iter`/
+//! `iter_batched`, throughput annotation) to compile and run the
+//! workspace's microbenches. Measurement is a simple adaptive-iteration
+//! wall-clock mean — no statistical analysis. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (advisory here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Construct one input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count (accepted for compatibility; the shim's
+    /// adaptive loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<40} (no iterations)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) => format!("  {:>10.1} MB/s", n as f64 / ns * 953.674_316),
+            Throughput::Elements(n) => format!("  {:>10.1} Melem/s", n as f64 / ns * 1000.0),
+        })
+        .unwrap_or_default();
+    println!("{label:<40} {ns:>12.1} ns/iter{rate}");
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Target measuring time per benchmark (adaptive iteration count).
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations.
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        black_box(routine());
+        while self.elapsed < TARGET && self.iters < MAX_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        while self.elapsed < TARGET && self.iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |mut v| {
+                    v[0] = 2;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
