@@ -30,8 +30,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use tmk_apps::{ilink, sor, tsp, water};
+use tmk_core::RetransmitPolicy;
 use tmk_machines::{run_workload, DsmProtocol, DsmTuning, Json, Outcome, Platform, RunReport};
-use tmk_net::SoftwareOverhead;
+use tmk_net::{FaultPlan, SoftwareOverhead};
 use tmk_parmacs::Workload;
 
 use crate::fmt_secs;
@@ -1306,6 +1307,156 @@ fn ablations(tier: Tier) -> Experiment {
     }
 }
 
+fn chaos(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    let procs = if quick { 4usize } else { 8 };
+    // One seed for the whole sweep: the runs are bit-exact replayable, and
+    // the chosen seed produces at least one drop even at the lowest rate.
+    let seed: u64 = 0xc4a05;
+    // Quick-tier inputs exchange few messages, so the smoke rates are
+    // higher to still see drops on every workload.
+    let rates: Vec<f64> = if quick {
+        vec![0.0, 2e-2, 5e-2]
+    } else {
+        vec![0.0, 1e-4, 1e-3, 1e-2]
+    };
+    // Pure safety net: orders of magnitude above any legitimate run, it
+    // only fires if retransmission ever livelocks.
+    let budget: u64 = 4_000_000_000_000;
+
+    let platform = move |drop: f64| -> Platform {
+        Platform::AsCluster {
+            procs,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                faults: (drop > 0.0).then(|| FaultPlan::drop_rate(seed, drop)),
+                reliability: Some(RetransmitPolicy::default()),
+                watchdog_budget: Some(budget),
+                ..Default::default()
+            },
+        }
+    };
+
+    let workloads: Vec<(&'static str, &'static str, WorkloadSpec)> = if quick {
+        vec![
+            ("sor", "SOR tiny", WorkloadSpec::SorTiny),
+            ("tsp", "TSP 10", WorkloadSpec::Tsp { cities: 10 }),
+        ]
+    } else {
+        vec![
+            ("sor", "SOR 1024x1024", WorkloadSpec::SorSmall),
+            ("tsp", "TSP 17", WorkloadSpec::Tsp { cities: 17 }),
+        ]
+    };
+
+    let mut sections = Vec::new();
+    for (id, name, w) in workloads {
+        let rates = rates.clone();
+        let mut requests = vec![req(Platform::as_sim(procs), w.clone())];
+        for &r in &rates {
+            requests.push(req(platform(r), w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let base = ctx.data(&req(Platform::as_sim(procs), w.clone()))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{name} on the {procs}-node AS design under injected message loss \
+                 (retransmission timeout {} cycles):",
+                RetransmitPolicy::default().timeout
+            )
+            .unwrap();
+            let mut prev: Option<(f64, u64)> = None;
+            for &rate in &rates {
+                let d = ctx.data(&req(platform(rate), w.clone()))?;
+                let rep = &d.report;
+                if d.checksums != base.checksums {
+                    return Err(format!(
+                        "drop rate {rate}: application output diverged from the \
+                         fault-free run ({:?} vs {:?})",
+                        d.checksums, base.checksums
+                    ));
+                }
+                if rate == 0.0 {
+                    // The zero-rate run must reproduce the fault-free
+                    // baseline byte for byte: same cycles, same per-processor
+                    // clocks, same traffic.
+                    if rep.cycles != base.report.cycles
+                        || rep.proc_cycles != base.report.proc_cycles
+                        || rep.traffic != base.report.traffic
+                    {
+                        return Err(format!(
+                            "drop rate 0 deviates from the fault-free baseline \
+                             ({} vs {} cycles): the reliability layer is not free",
+                            rep.cycles, base.report.cycles
+                        ));
+                    }
+                    if rep.reliability.retransmissions != 0 {
+                        return Err("retransmissions on a perfect network".to_string());
+                    }
+                } else {
+                    if rep.net_faults.drops == 0 {
+                        return Err(format!(
+                            "drop rate {rate}: seed {seed} produced no drops; \
+                             pick a seed that exercises the layer"
+                        ));
+                    }
+                    if rep.reliability.retransmissions == 0 {
+                        return Err(format!(
+                            "drop rate {rate}: messages were dropped but never \
+                             retransmitted"
+                        ));
+                    }
+                }
+                if let Some((prate, pcycles)) = prev {
+                    if rep.cycles < pcycles {
+                        return Err(format!(
+                            "simulated time shrank as the drop rate grew \
+                             ({pcycles} cycles at {prate} vs {} at {rate})",
+                            rep.cycles
+                        ));
+                    }
+                }
+                prev = Some((rate, rep.cycles));
+                writeln!(
+                    out,
+                    "  drop {rate:>6}: {:>9} time  msgs={:<7} dropped={:<5} \
+                     retrans={:<5} dup-suppressed={}",
+                    fmt_secs(rep.seconds()),
+                    rep.traffic.total_msgs(),
+                    rep.net_faults.drops,
+                    rep.reliability.retransmissions,
+                    rep.reliability.dup_suppressed,
+                )
+                .unwrap();
+            }
+            let top = ctx.report(&req(platform(*rates.last().unwrap()), w.clone()))?;
+            if top.cycles <= base.report.cycles {
+                return Err(format!(
+                    "the heaviest loss rate did not cost simulated time \
+                     ({} vs {} cycles)",
+                    top.cycles, base.report.cycles
+                ));
+            }
+            Ok(out)
+        });
+        sections.push(Section::new(id, requests, render));
+    }
+    Experiment {
+        id: "chaos",
+        title: "message-loss injection: outputs invariant, time grows with drop rate",
+        default: true,
+        header: Some(
+            "Unreliable-network sweep on the AS design: seeded drops with the \
+             TreadMarks retransmission layer armed.\nCorrect runs keep application \
+             results bit-identical to the fault-free baseline at every rate."
+                .to_string(),
+        ),
+        sections,
+    }
+}
+
 fn calibrate(tier: Tier) -> Experiment {
     let quick = tier == Tier::Quick;
     let apps: Vec<(&'static str, Vec<(&'static str, WorkloadSpec)>)> = if quick {
@@ -1455,6 +1606,7 @@ pub fn registry(tier: Tier) -> Vec<Experiment> {
         fig12_13(tier),
         fig14_16(tier),
         ablations(tier),
+        chaos(tier),
         calibrate(tier),
     ]
 }

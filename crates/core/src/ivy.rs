@@ -106,6 +106,42 @@ impl IvyNode {
         self.held.contains(&lock)
     }
 
+    /// A diagnostic summary of this node's synchronization state: the lock
+    /// directory it manages (holder and FIFO queue), locks held locally,
+    /// and barrier arrivals collected as a manager. Consumed by the
+    /// simulator's deadlock watchdog.
+    pub fn sync_debug(&self) -> String {
+        let mut parts = Vec::new();
+        let mut locks: Vec<_> = self.locks.iter().collect();
+        locks.sort_by_key(|(l, _)| **l);
+        for (l, d) in locks {
+            if d.holder.is_some() || !d.queue.is_empty() {
+                let holder = d
+                    .holder
+                    .map_or("none".to_string(), |h| format!("node {h}"));
+                let q: Vec<String> = d.queue.iter().map(|n| n.to_string()).collect();
+                parts.push(format!("lock {l}: holder {holder}, queue [{}]", q.join(", ")));
+            }
+        }
+        if !self.held.is_empty() {
+            let held: Vec<String> = self.held.iter().map(|l| l.to_string()).collect();
+            parts.push(format!("holding [{}]", held.join(", ")));
+        }
+        let mut barriers: Vec<_> = self.barriers.iter().collect();
+        barriers.sort_by_key(|(b, _)| **b);
+        for (b, arr) in barriers {
+            if !arr.is_empty() {
+                let who: Vec<String> = arr.iter().map(|n| n.to_string()).collect();
+                parts.push(format!("barrier {b}: arrivals [{}]", who.join(", ")));
+            }
+        }
+        if parts.is_empty() {
+            "idle".to_string()
+        } else {
+            parts.join("; ")
+        }
+    }
+
     fn manager_of(&self, page: PageId) -> NodeId {
         page % self.cfg.nodes
     }

@@ -67,6 +67,7 @@ pub mod ivy;
 mod msg;
 mod node;
 mod page;
+pub mod reliable;
 pub mod runtime;
 mod stats;
 mod vt;
@@ -77,6 +78,7 @@ pub use interval::{IntervalMsg, IntervalStore};
 pub use msg::{Action, BodyBytes, Envelope, Msg, MsgClass};
 pub use ivy::IvyNode;
 pub use node::{FaultStart, Handled, Node, StartAcquire};
+pub use reliable::{ChaosPlan, ChaosRouter, PacketId, RelStats, Reliability, RetransmitPolicy};
 pub use stats::NodeStats;
 pub use vt::VTime;
 

@@ -39,6 +39,19 @@ pub enum MsgClass {
     Update,
 }
 
+impl MsgClass {
+    /// This class's bit in a fault-plan class mask (`tmk-net`'s
+    /// `FaultPlan::class_mask` is protocol-agnostic; this is the mapping).
+    pub fn bit(self) -> u8 {
+        match self {
+            MsgClass::Miss => 1 << 0,
+            MsgClass::SyncLock => 1 << 1,
+            MsgClass::SyncBarrier => 1 << 2,
+            MsgClass::Update => 1 << 3,
+        }
+    }
+}
+
 /// Payload size of a message, split the way the paper's Figure 13 splits
 /// data totals. Headers are accounted separately (fixed bytes per message,
 /// [`crate::Config::header_bytes`]).

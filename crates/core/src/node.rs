@@ -212,6 +212,39 @@ impl Node {
         )
     }
 
+    /// A diagnostic summary of this node's synchronization state: which
+    /// lock tokens it holds (and any promised successor), and barrier
+    /// arrivals it has collected as a manager. Consumed by the simulator's
+    /// deadlock watchdog so a hung run names lock holders instead of just
+    /// "blocked".
+    pub fn sync_debug(&self) -> String {
+        let mut parts = Vec::new();
+        let mut locks: Vec<_> = self.locks.iter().collect();
+        locks.sort_by_key(|(l, _)| **l);
+        for (l, v) in locks {
+            if v.have_token || v.held || v.next.is_some() {
+                let mut s = format!("lock {l}: token here, held={}", v.held);
+                if let Some((next, _)) = &v.next {
+                    s.push_str(&format!(", promised to node {next}"));
+                }
+                parts.push(s);
+            }
+        }
+        let mut barriers: Vec<_> = self.barriers.iter().collect();
+        barriers.sort_by_key(|(b, _)| **b);
+        for (b, st) in barriers {
+            if !st.arrivals.is_empty() {
+                let who: Vec<String> = st.arrivals.iter().map(|(n, _)| n.to_string()).collect();
+                parts.push(format!("barrier {b}: arrivals [{}]", who.join(", ")));
+            }
+        }
+        if parts.is_empty() {
+            "idle".to_string()
+        } else {
+            parts.join("; ")
+        }
+    }
+
     fn lock_view(&mut self, lock: LockId) -> &mut LockView {
         let is_mgr = self.cfg.lock_manager(lock) == self.id;
         self.locks.entry(lock).or_insert_with(|| LockView {

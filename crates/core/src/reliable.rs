@@ -1,0 +1,452 @@
+//! Reliability sublayer on the [`Envelope`] path.
+//!
+//! TreadMarks ran over UDP: every request carried an operation-specific
+//! timeout, lost messages were retransmitted with exponential backoff, and
+//! receivers suppressed duplicates so each handler ran effectively once.
+//! This module is the reproduction's version of that machinery, written
+//! sans-io like the protocol itself:
+//!
+//! * [`Reliability`] owns per-(src, dst) sequence numbers, the receiver's
+//!   duplicate-suppression windows, and the sender's in-flight set. Routers
+//!   (the timed router in `tmk-machines`, the synchronous [`ChaosRouter`]
+//!   here, the real-thread `runtime`) call [`register`], [`accept`],
+//!   [`acked`] and [`bump_retry`] at the appropriate points; the protocol
+//!   state machines never see a duplicate or a gap.
+//! * [`RetransmitPolicy`] is the timeout / exponential-backoff / max-retry
+//!   knob set.
+//! * [`ChaosRouter`] is a synchronous router (like [`crate::Cluster`]'s)
+//!   that injects seeded drops, duplicates and delays on every hop and
+//!   repairs them through `Reliability` — the harness the protocol
+//!   proptests run under.
+//!
+//! Acks are piggybacked: in the synchronous and timed routers, delivery is
+//! observed by the router itself (the reply path confirms receipt), so a
+//! delivered packet is acked immediately and a retransmit timer only fires
+//! for packets that were genuinely lost.
+//!
+//! [`register`]: Reliability::register
+//! [`accept`]: Reliability::accept
+//! [`acked`]: Reliability::acked
+//! [`bump_retry`]: Reliability::bump_retry
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::{Action, Envelope, Handled, NodeId};
+
+/// Identifies one reliably-sent packet: `(src, dst, seq)`.
+pub type PacketId = (NodeId, NodeId, u64);
+
+/// Timeout / retransmission parameters (TreadMarks' UDP knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// Cycles before the first retransmission of an unacked packet.
+    pub timeout: u64,
+    /// Multiplier applied to the timeout after each retransmission
+    /// (exponential backoff).
+    pub backoff: u32,
+    /// Retransmissions allowed before the sender gives the peer up for
+    /// dead and aborts.
+    pub max_retries: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        // 1M cycles is 10 ms at the simulation study's 100 MHz — a coarse
+        // LAN-style RTO. It must clear not just the uncontended round trip
+        // (~0.3 ms with a 4 KB page) but the worst queueing burst behind an
+        // 8-node barrier, or a loss-free run pays for spurious
+        // retransmissions and stops being cycle-identical to a run without
+        // the reliability layer.
+        RetransmitPolicy {
+            timeout: 1_000_000,
+            backoff: 2,
+            max_retries: 16,
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// The timeout armed after `attempt` retransmissions (attempt 0 = the
+    /// original send), saturating rather than overflowing.
+    pub fn timeout_for(&self, attempt: u32) -> u64 {
+        self.timeout
+            .saturating_mul((self.backoff.max(1) as u64).saturating_pow(attempt.min(32)))
+    }
+}
+
+/// Counters kept by the reliability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelStats {
+    /// Packets handed to the reliable path (original sends, not retries).
+    pub data_msgs: u64,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Retransmit timers that expired with the packet still unacked.
+    pub timeouts: u64,
+    /// Deliveries suppressed as duplicates.
+    pub dup_suppressed: u64,
+    /// Acks recorded (piggybacked on the reply path).
+    pub acks: u64,
+}
+
+impl RelStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RelStats) {
+        self.data_msgs += other.data_msgs;
+        self.retransmissions += other.retransmissions;
+        self.timeouts += other.timeouts;
+        self.dup_suppressed += other.dup_suppressed;
+        self.acks += other.acks;
+    }
+}
+
+/// Receiver-side duplicate-suppression window for one (src, dst) pair:
+/// every seq `<= contiguous` has been delivered, plus the sparse set of
+/// out-of-order arrivals above it.
+#[derive(Debug, Default)]
+struct Seen {
+    contiguous: u64,
+    sparse: BTreeSet<u64>,
+}
+
+impl Seen {
+    /// Records `seq`; returns `false` if it was already delivered.
+    fn insert(&mut self, seq: u64) -> bool {
+        if seq <= self.contiguous || !self.sparse.insert(seq) {
+            return false;
+        }
+        while self.sparse.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        true
+    }
+}
+
+/// Sequence numbers, duplicate suppression and in-flight tracking for a
+/// whole cluster's traffic (the routers are centralized, so one instance
+/// covers every (src, dst) pair).
+#[derive(Debug, Default)]
+pub struct Reliability {
+    next_seq: HashMap<(NodeId, NodeId), u64>,
+    seen: HashMap<(NodeId, NodeId), Seen>,
+    /// Unacked packets → retransmissions performed so far.
+    in_flight: HashMap<PacketId, u32>,
+    stats: RelStats,
+}
+
+impl Reliability {
+    /// A fresh instance (all sequences at zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns the next sequence number on `env`'s (src, dst) pair and
+    /// tracks the packet as in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a loopback envelope — local delivery bypasses the network
+    /// and needs no reliability.
+    pub fn register(&mut self, env: &Envelope) -> PacketId {
+        assert_ne!(env.from, env.to, "loopback envelopes are not registered");
+        let seq = self.next_seq.entry((env.from, env.to)).or_insert(0);
+        *seq += 1;
+        let pid = (env.from, env.to, *seq);
+        self.in_flight.insert(pid, 0);
+        self.stats.data_msgs += 1;
+        pid
+    }
+
+    /// Records the (piggybacked) ack for `pid`, removing it from the
+    /// in-flight set. Idempotent: late acks for already-acked packets are
+    /// ignored.
+    pub fn acked(&mut self, pid: PacketId) {
+        if self.in_flight.remove(&pid).is_some() {
+            self.stats.acks += 1;
+        }
+    }
+
+    /// Whether `pid` is still awaiting its ack.
+    pub fn is_in_flight(&self, pid: PacketId) -> bool {
+        self.in_flight.contains_key(&pid)
+    }
+
+    /// Receiver-side duplicate check: `true` exactly once per `pid`; later
+    /// copies return `false` and are counted as suppressed.
+    pub fn accept(&mut self, pid: PacketId) -> bool {
+        let (src, dst, seq) = pid;
+        let fresh = self.seen.entry((src, dst)).or_default().insert(seq);
+        if !fresh {
+            self.stats.dup_suppressed += 1;
+        }
+        fresh
+    }
+
+    /// Records a retransmit-timer expiry for a still-unacked `pid`;
+    /// returns the new retry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not in flight (the router must cancel timers for
+    /// acked packets, or check [`is_in_flight`](Self::is_in_flight) first).
+    pub fn bump_retry(&mut self, pid: PacketId) -> u32 {
+        let retries = self
+            .in_flight
+            .get_mut(&pid)
+            .expect("retransmit timer fired for a packet not in flight");
+        *retries += 1;
+        self.stats.timeouts += 1;
+        self.stats.retransmissions += 1;
+        *retries
+    }
+
+    /// Number of packets awaiting acks.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The layer's counters.
+    pub fn stats(&self) -> &RelStats {
+        &self.stats
+    }
+}
+
+/// A seeded schedule of drop/duplicate/delay faults for the synchronous
+/// [`ChaosRouter`] (rates are independent per-hop probabilities; `delay`
+/// reorders the message behind everything currently queued).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability a hop is dropped.
+    pub drop: f64,
+    /// Probability a hop is delivered twice.
+    pub dup: f64,
+    /// Probability a hop is pushed to the back of the queue (reordering).
+    pub delay: f64,
+}
+
+enum HopFate {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+/// A synchronous envelope router with seeded fault injection repaired by
+/// the reliability layer: the faulty, retransmitting analogue of
+/// [`crate::Cluster`]'s internal router, generic over the protocol (LRC
+/// [`crate::Node`] or [`crate::IvyNode`]) via the `deliver` callback.
+///
+/// Timeouts are virtual: when the delivery queue drains and lost packets
+/// remain, every retransmit timer is deemed expired and the packets are
+/// re-sent (subject to the fault schedule again) — the synchronous router
+/// has no clock, but the order of events matches the timed router's
+/// "timeout strictly after every in-queue delivery" guarantee.
+pub struct ChaosRouter {
+    plan: ChaosPlan,
+    rng: SmallRng,
+    policy: RetransmitPolicy,
+    rel: Reliability,
+}
+
+impl ChaosRouter {
+    /// A router applying `plan` under `policy`.
+    pub fn new(plan: ChaosPlan, policy: RetransmitPolicy) -> Self {
+        ChaosRouter {
+            plan,
+            rng: SmallRng::seed_from_u64(plan.seed),
+            policy,
+            rel: Reliability::new(),
+        }
+    }
+
+    /// The reliability layer (stats, in-flight set).
+    pub fn rel(&self) -> &Reliability {
+        &self.rel
+    }
+
+    fn roll(&mut self) -> HopFate {
+        let band = |p: f64| -> u64 {
+            if p >= 1.0 {
+                u64::MAX
+            } else {
+                (p.max(0.0) * (u64::MAX as f64)) as u64
+            }
+        };
+        let roll = self.rng.next_u64();
+        let d = band(self.plan.drop);
+        let du = d.saturating_add(band(self.plan.dup));
+        let de = du.saturating_add(band(self.plan.delay));
+        if roll < d {
+            HopFate::Drop
+        } else if roll < du {
+            HopFate::Duplicate
+        } else if roll < de {
+            HopFate::Delay
+        } else {
+            HopFate::Deliver
+        }
+    }
+
+    /// Routes `sends` (and everything they trigger) to quiescence,
+    /// retransmitting losses until every packet is acked; returns the
+    /// completion actions in delivery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet exceeds the policy's `max_retries`.
+    pub fn route(
+        &mut self,
+        sends: Vec<Envelope>,
+        deliver: &mut dyn FnMut(Envelope) -> Handled,
+    ) -> Vec<(NodeId, Action)> {
+        // (envelope, packet id, rolled): `rolled` marks copies already past
+        // fault injection (the late half of a duplicate, a delayed hop).
+        let mut q: VecDeque<(Envelope, Option<PacketId>, bool)> = VecDeque::new();
+        let mut lost: Vec<(Envelope, PacketId)> = Vec::new();
+        let mut actions = Vec::new();
+        let enqueue = |rel: &mut Reliability,
+                           q: &mut VecDeque<(Envelope, Option<PacketId>, bool)>,
+                           env: Envelope| {
+            let pid = (env.from != env.to).then(|| rel.register(&env));
+            q.push_back((env, pid, false));
+        };
+        for env in sends {
+            enqueue(&mut self.rel, &mut q, env);
+        }
+        loop {
+            while let Some((env, pid, rolled)) = q.pop_front() {
+                let Some(pid) = pid else {
+                    // Loopback: no wire, no faults, no reliability.
+                    let to = env.to;
+                    let h = deliver(env);
+                    for s in h.sends {
+                        enqueue(&mut self.rel, &mut q, s);
+                    }
+                    actions.extend(h.actions.into_iter().map(|a| (to, a)));
+                    continue;
+                };
+                if !rolled {
+                    match self.roll() {
+                        HopFate::Drop => {
+                            lost.push((env, pid));
+                            continue;
+                        }
+                        HopFate::Duplicate => {
+                            q.push_back((env.clone(), Some(pid), true));
+                        }
+                        HopFate::Delay => {
+                            q.push_back((env, Some(pid), true));
+                            continue;
+                        }
+                        HopFate::Deliver => {}
+                    }
+                }
+                // Delivered: ack rides the (synchronous) reply path.
+                self.rel.acked(pid);
+                if !self.rel.accept(pid) {
+                    continue; // duplicate suppressed
+                }
+                let to = env.to;
+                let h = deliver(env);
+                for s in h.sends {
+                    enqueue(&mut self.rel, &mut q, s);
+                }
+                actions.extend(h.actions.into_iter().map(|a| (to, a)));
+            }
+            if lost.is_empty() {
+                break;
+            }
+            // Queue drained: every outstanding retransmit timer expires.
+            for (env, pid) in std::mem::take(&mut lost) {
+                let retries = self.rel.bump_retry(pid);
+                assert!(
+                    retries <= self.policy.max_retries,
+                    "reliability gave up: {} -> {} seq {} after {} retransmissions",
+                    pid.0,
+                    pid.1,
+                    pid.2,
+                    retries - 1,
+                );
+                q.push_back((env, Some(pid), false));
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: NodeId, to: NodeId) -> Envelope {
+        Envelope {
+            from,
+            to,
+            msg: crate::Msg::PageReq { page: 0 },
+        }
+    }
+
+    #[test]
+    fn sequences_are_per_pair_and_monotonic() {
+        let mut rel = Reliability::new();
+        assert_eq!(rel.register(&env(0, 1)), (0, 1, 1));
+        assert_eq!(rel.register(&env(0, 1)), (0, 1, 2));
+        assert_eq!(rel.register(&env(1, 0)), (1, 0, 1));
+        assert_eq!(rel.register(&env(0, 2)), (0, 2, 1));
+        assert_eq!(rel.in_flight_len(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_in_and_out_of_order() {
+        let mut rel = Reliability::new();
+        assert!(rel.accept((0, 1, 2))); // out of order: fine
+        assert!(rel.accept((0, 1, 1)));
+        assert!(!rel.accept((0, 1, 1)), "replay below the window");
+        assert!(!rel.accept((0, 1, 2)), "replay inside the sparse set");
+        assert!(rel.accept((0, 1, 3)));
+        assert_eq!(rel.stats().dup_suppressed, 2);
+    }
+
+    #[test]
+    fn acks_drain_the_in_flight_set_idempotently() {
+        let mut rel = Reliability::new();
+        let pid = rel.register(&env(2, 3));
+        assert!(rel.is_in_flight(pid));
+        rel.acked(pid);
+        rel.acked(pid);
+        assert_eq!(rel.in_flight_len(), 0);
+        assert_eq!(rel.stats().acks, 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RetransmitPolicy {
+            timeout: 10,
+            backoff: 2,
+            max_retries: 4,
+        };
+        assert_eq!(p.timeout_for(0), 10);
+        assert_eq!(p.timeout_for(1), 20);
+        assert_eq!(p.timeout_for(3), 80);
+        let huge = RetransmitPolicy {
+            timeout: u64::MAX / 2,
+            backoff: 8,
+            max_retries: 64,
+        };
+        assert_eq!(huge.timeout_for(60), u64::MAX, "saturates, never wraps");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn retry_of_acked_packet_is_a_router_bug() {
+        let mut rel = Reliability::new();
+        let pid = rel.register(&env(0, 1));
+        rel.acked(pid);
+        rel.bump_retry(pid);
+    }
+}

@@ -31,12 +31,15 @@
 //! assert_eq!(sums.iter().sum::<u64>(), (0..32).sum());
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::cluster::Traffic;
+use crate::reliable::{PacketId, RelStats, Reliability};
 use crate::{
     Action, BarrierId, Config, Envelope, LockId, Node, NodeId, NodeStats, SharedAddr,
     StartAcquire,
@@ -45,7 +48,7 @@ use crate::{
 pub use crate::Config as DsmConfig;
 
 enum Wire {
-    Env(Envelope),
+    Env(Envelope, Option<PacketId>),
     Stop,
 }
 
@@ -59,24 +62,79 @@ struct NodeInner {
     completions: Vec<Action>,
 }
 
+/// Deterministic channel-level fault injection for the real-thread
+/// runtime: crossbeam channels never lose messages, so faults are
+/// introduced at the transmit hook to exercise the reliability layer's
+/// duplicate suppression on real threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelFaults {
+    /// Transmit every Nth cross-node message twice (0 = never).
+    pub duplicate_every: u64,
+}
+
 struct Shared {
     cells: Vec<Arc<NodeCell>>,
     senders: Vec<Sender<Wire>>,
     traffic: Mutex<Traffic>,
     header_bytes: usize,
+    /// Sequence numbers + duplicate suppression on the channel path.
+    rel: Mutex<Reliability>,
+    faults: ChannelFaults,
+    sent: AtomicU64,
+    /// First fatal error: any node/service-thread panic poisons the whole
+    /// cluster so blocked peers abort instead of waiting forever.
+    poison: Mutex<Option<String>>,
 }
 
 impl Shared {
     fn transmit(&self, sends: Vec<Envelope>) {
         for env in sends {
-            if env.from != env.to {
-                self.traffic.lock().record(&env, self.header_bytes);
+            if env.from == env.to {
+                // Loopback skips the wire: no traffic, no reliability.
+                let _ = self.senders[env.to].send(Wire::Env(env, None));
+                continue;
+            }
+            self.traffic.lock().record(&env, self.header_bytes);
+            let pid = self.rel.lock().register(&env);
+            let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.faults.duplicate_every > 0 && n % self.faults.duplicate_every == 0 {
+                let _ = self.senders[env.to].send(Wire::Env(env.clone(), Some(pid)));
             }
             // A send can only fail during shutdown, when nobody is waiting.
-            let _ = self.senders[env.to].send(Wire::Env(env));
+            let _ = self.senders[env.to].send(Wire::Env(env, Some(pid)));
         }
     }
+
+    /// Records the first fatal error and wakes every blocked waiter.
+    fn poison(&self, msg: String) {
+        self.poison.lock().get_or_insert(msg);
+        for cell in &self.cells {
+            // Taking the cell lock serializes with waiters between their
+            // poison check and their condvar wait, so no wakeup is lost.
+            let _guard = cell.inner.lock();
+            cell.cv.notify_all();
+        }
+    }
+
+    fn poison_text(&self) -> Option<String> {
+        self.poison.lock().clone()
+    }
 }
+
+/// Best-effort text of a panic payload.
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Prefix of the secondary panics raised by peers woken from a poisoned
+/// cluster (used to keep the original panic as the surfaced one).
+const TEARDOWN: &str = "DSM cluster torn down: ";
 
 /// Pre-parallel master handle: allocates and initializes shared memory
 /// before the node bodies start (the PARMACS "master initializes, then
@@ -144,6 +202,9 @@ impl DsmNode {
             if let Some(pos) = inner.completions.iter().position(|a| *a == want) {
                 inner.completions.remove(pos);
                 return;
+            }
+            if let Some(msg) = self.shared.poison_text() {
+                panic!("{TEARDOWN}{msg}");
             }
             cell.cv.wait(&mut inner);
         }
@@ -265,6 +326,8 @@ pub struct RunOutput<R> {
     pub stats: NodeStats,
     /// Message traffic totals.
     pub traffic: Traffic,
+    /// Reliability-layer counters for the channel path.
+    pub reliability: RelStats,
 }
 
 impl Dsm {
@@ -294,6 +357,24 @@ impl Dsm {
     /// Like [`run_with_init`](Self::run_with_init) but also returns
     /// aggregate statistics.
     pub fn run_full<T, R, I, F>(cfg: Config, init: I, body: F) -> RunOutput<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        I: FnOnce(&mut Master<'_>) -> T,
+        F: Fn(&DsmNode, &T) -> R + Send + Sync,
+    {
+        Self::run_faulty(cfg, ChannelFaults::default(), init, body)
+    }
+
+    /// Like [`run_full`](Self::run_full) but with deterministic channel
+    /// faults injected at transmit time, exercising the reliability
+    /// layer's duplicate suppression under real concurrency.
+    pub fn run_faulty<T, R, I, F>(
+        cfg: Config,
+        faults: ChannelFaults,
+        init: I,
+        body: F,
+    ) -> RunOutput<R>
     where
         T: Send + Sync,
         R: Send,
@@ -336,6 +417,10 @@ impl Dsm {
             senders,
             traffic: Mutex::new(Traffic::default()),
             header_bytes,
+            rel: Mutex::new(Reliability::new()),
+            faults,
+            sent: AtomicU64::new(0),
+            poison: Mutex::new(None),
         });
 
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -344,13 +429,36 @@ impl Dsm {
             for (id, rx) in receivers.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
                 scope.spawn(move || {
-                    while let Ok(Wire::Env(env)) = rx.recv() {
+                    while let Ok(Wire::Env(env, pid)) = rx.recv() {
+                        if let Some(pid) = pid {
+                            let mut rel = shared.rel.lock();
+                            // Delivery confirms receipt (the ack rides the
+                            // reply); duplicates never reach the handler.
+                            rel.acked(pid);
+                            if !rel.accept(pid) {
+                                continue;
+                            }
+                        }
                         let cell = &shared.cells[id];
-                        let (sends, actions) = {
+                        let handled = {
                             let mut inner = cell.inner.lock();
-                            let handled = inner.node.handle(env);
-                            inner.completions.extend(handled.actions.iter().copied());
-                            (handled.sends, handled.actions)
+                            catch_unwind(AssertUnwindSafe(|| inner.node.handle(env)))
+                        };
+                        let (sends, actions) = match handled {
+                            Ok(h) => {
+                                let mut inner = cell.inner.lock();
+                                inner.completions.extend(h.actions.iter().copied());
+                                (h.sends, h.actions)
+                            }
+                            Err(p) => {
+                                // A service-thread panic would deadlock every
+                                // peer waiting on this node: tear down.
+                                shared.poison(format!(
+                                    "service thread of node {id} panicked: {}",
+                                    panic_text(p.as_ref())
+                                ));
+                                return;
+                            }
                         };
                         if !actions.is_empty() {
                             cell.cv.notify_all();
@@ -366,16 +474,39 @@ impl Dsm {
             for (id, slot) in results.iter_mut().enumerate() {
                 let shared = Arc::clone(&shared);
                 apps.push(scope.spawn(move || {
-                    let handle = DsmNode { id, shared };
-                    *slot = Some(body(&handle, plan));
+                    let handle = DsmNode {
+                        id,
+                        shared: Arc::clone(&shared),
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| body(&handle, plan))) {
+                        Ok(v) => *slot = Some(v),
+                        Err(p) => {
+                            // Wake peers blocked on this node before dying,
+                            // surfacing the original panic to the join below.
+                            if !panic_text(p.as_ref()).starts_with(TEARDOWN) {
+                                shared.poison(format!(
+                                    "node {id} panicked: {}",
+                                    panic_text(p.as_ref())
+                                ));
+                            }
+                            std::panic::resume_unwind(p);
+                        }
+                    }
                 }));
             }
             // Join the application threads, then release the service
             // threads (the scope would otherwise wait on them forever).
-            let mut panicked = None;
+            // Secondary teardown panics (peers woken from a poisoned
+            // cluster) lose to the originating panic.
+            let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+            let mut panicked_secondary = false;
             for h in apps {
                 if let Err(p) = h.join() {
-                    panicked.get_or_insert(p);
+                    let secondary = panic_text(p.as_ref()).starts_with(TEARDOWN);
+                    if panicked.is_none() || (panicked_secondary && !secondary) {
+                        panicked = Some(p);
+                        panicked_secondary = secondary;
+                    }
                 }
             }
             for tx in &shared.senders {
@@ -386,7 +517,14 @@ impl Dsm {
             }
         });
 
+        // A service thread may have died without any app thread noticing
+        // (its panic must still surface, not vanish).
+        if let Some(msg) = shared.poison_text() {
+            panic!("{TEARDOWN}{msg}");
+        }
+
         let traffic = *shared.traffic.lock();
+        let reliability = *shared.rel.lock().stats();
         let mut stats = NodeStats::default();
         for cell in &shared.cells {
             stats.merge(cell.inner.lock().node.stats());
@@ -395,6 +533,7 @@ impl Dsm {
             results: results.into_iter().map(|r| r.expect("body ran")).collect(),
             stats,
             traffic,
+            reliability,
         }
     }
 }
@@ -479,6 +618,71 @@ mod tests {
         assert_eq!(out.stats.barriers, 2);
         assert!(out.stats.lock_releases == 2);
         assert!(out.traffic.total_msgs() > 0);
+    }
+
+    #[test]
+    fn app_panic_tears_down_instead_of_deadlocking() {
+        // Node 0 dies; the others are parked at a barrier that can never
+        // complete. Without teardown this test hangs forever.
+        let r = std::panic::catch_unwind(|| {
+            Dsm::run(small(3), |node| {
+                if node.id() == 0 {
+                    panic!("application exploded");
+                }
+                node.barrier(0);
+            })
+        });
+        let p = r.expect_err("panic must propagate");
+        let text = panic_text(p.as_ref());
+        assert!(
+            text.contains("application exploded"),
+            "original panic surfaces, got: {text}"
+        );
+    }
+
+    #[test]
+    fn blocked_peers_report_the_teardown_cause() {
+        let r = std::panic::catch_unwind(|| {
+            Dsm::run(small(4), |node| {
+                if node.id() == 3 {
+                    panic!("node three gave up");
+                }
+                // Lock 3 is managed (and held) by nobody after node 3 dies;
+                // a peer blocked here can only be freed by the teardown.
+                node.lock(usize::MAX - 3); // lock (MAX-3) % 4 == 0: manager node 0
+                node.barrier(0);
+            })
+        });
+        assert!(r.is_err(), "cluster must not report success");
+    }
+
+    #[test]
+    fn duplicated_channel_messages_are_suppressed() {
+        // Duplicate every other cross-node message: the protocol must be
+        // unaffected (effectively-once handlers) and the reliability layer
+        // must report the suppressed copies.
+        let out = Dsm::run_faulty(
+            small(4),
+            ChannelFaults { duplicate_every: 2 },
+            |_| (),
+            |node, ()| {
+                for _ in 0..25 {
+                    node.lock(0);
+                    let v = node.read_u64(0);
+                    node.write_u64(0, v + 1);
+                    node.unlock(0);
+                }
+                node.barrier(0);
+                node.read_u64(0)
+            },
+        );
+        assert!(out.results.into_iter().all(|v| v == 100));
+        assert!(
+            out.reliability.dup_suppressed > 0,
+            "duplicates were injected and must be counted: {:?}",
+            out.reliability
+        );
+        assert_eq!(out.reliability.retransmissions, 0, "channels lose nothing");
     }
 
     #[test]

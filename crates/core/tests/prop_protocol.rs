@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 
-use tmk_core::{Cluster, Config, Diff, VTime, WORD};
+use tmk_core::{
+    Action, ChaosPlan, ChaosRouter, Cluster, Config, Diff, Envelope, FaultStart, Handled,
+    IvyNode, Node, RetransmitPolicy, StartAcquire, VTime, WORD,
+};
 
 // ---------------------------------------------------------------------
 // Diffs
@@ -170,6 +173,51 @@ proptest! {
         }
     }
 
+    /// Under a random seeded drop/duplicate/delay schedule with the
+    /// reliability layer armed, a TreadMarks run produces results identical
+    /// to the fault-free run, and the in-flight set drains to empty after
+    /// every cascade.
+    #[test]
+    fn lrc_outcome_is_fault_oblivious(
+        ops in proptest::collection::vec(op_strategy(4, 8), 1..40),
+        plan in chaos_plan_strategy(),
+    ) {
+        let clean = ChaosPlan { seed: plan.seed, drop: 0.0, dup: 0.0, delay: 0.0 };
+        let cfg = || Config::new(4).page_size(256).segment_pages(8);
+        let a = run_chaos_program(
+            (0..4).map(|i| Node::new(i, cfg())).collect(),
+            clean,
+            &ops,
+        );
+        let b = run_chaos_program(
+            (0..4).map(|i| Node::new(i, cfg())).collect(),
+            plan,
+            &ops,
+        );
+        prop_assert_eq!(a, b, "injected faults changed the LRC outcome ({:?})", plan);
+    }
+
+    /// The IVY ablation satisfies the same fault-obliviousness property.
+    #[test]
+    fn ivy_outcome_is_fault_oblivious(
+        ops in proptest::collection::vec(op_strategy(3, 6), 1..30),
+        plan in chaos_plan_strategy(),
+    ) {
+        let clean = ChaosPlan { seed: plan.seed, drop: 0.0, dup: 0.0, delay: 0.0 };
+        let cfg = || Config::new(3).page_size(256).segment_pages(8);
+        let a = run_chaos_program(
+            (0..3).map(|i| IvyNode::new(i, cfg())).collect(),
+            clean,
+            &ops,
+        );
+        let b = run_chaos_program(
+            (0..3).map(|i| IvyNode::new(i, cfg())).collect(),
+            plan,
+            &ops,
+        );
+        prop_assert_eq!(a, b, "injected faults changed the IVY outcome ({:?})", plan);
+    }
+
     /// The eager-release variant satisfies the same oracle.
     #[test]
     fn eager_cluster_matches_oracle(
@@ -210,4 +258,202 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection harness: the same programs through a lossy router
+// ---------------------------------------------------------------------
+
+/// The operation surface the chaos harness needs, implemented by both
+/// protocol flavors (TreadMarks LRC and the IVY ablation).
+trait Proto {
+    fn handle(&mut self, env: Envelope) -> Handled;
+    fn acquire(&mut self, lock: usize) -> StartAcquire;
+    fn release(&mut self, lock: usize) -> Vec<Envelope>;
+    fn barrier_arrive(&mut self, barrier: usize) -> FaultStart;
+    fn fault(&mut self, page: usize, write: bool) -> FaultStart;
+    fn page_ok(&self, page: usize, write: bool) -> bool;
+    fn pages_in(&self, addr: usize, len: usize) -> std::ops::Range<usize>;
+    fn read_into(&mut self, addr: usize, buf: &mut [u8]);
+    fn write_from(&mut self, addr: usize, bytes: &[u8]);
+}
+
+macro_rules! impl_proto {
+    ($ty:ty) => {
+        impl Proto for $ty {
+            fn handle(&mut self, env: Envelope) -> Handled {
+                <$ty>::handle(self, env)
+            }
+            fn acquire(&mut self, lock: usize) -> StartAcquire {
+                <$ty>::acquire(self, lock)
+            }
+            fn release(&mut self, lock: usize) -> Vec<Envelope> {
+                <$ty>::release(self, lock)
+            }
+            fn barrier_arrive(&mut self, barrier: usize) -> FaultStart {
+                <$ty>::barrier_arrive(self, barrier)
+            }
+            fn fault(&mut self, page: usize, write: bool) -> FaultStart {
+                <$ty>::fault(self, page, write)
+            }
+            fn page_ok(&self, page: usize, write: bool) -> bool {
+                if write {
+                    self.page_writable(page)
+                } else {
+                    self.page_valid(page)
+                }
+            }
+            fn pages_in(&self, addr: usize, len: usize) -> std::ops::Range<usize> {
+                <$ty>::pages_in(self, addr, len)
+            }
+            fn read_into(&mut self, addr: usize, buf: &mut [u8]) {
+                <$ty>::read_into(self, addr, buf)
+            }
+            fn write_from(&mut self, addr: usize, bytes: &[u8]) {
+                <$ty>::write_from(self, addr, bytes)
+            }
+        }
+    };
+}
+
+impl_proto!(Node);
+impl_proto!(IvyNode);
+
+/// A synchronous cluster whose every cascade runs through a seeded lossy
+/// [`ChaosRouter`] with the retransmission layer armed.
+struct ChaosCluster<N> {
+    nodes: Vec<N>,
+    router: ChaosRouter,
+}
+
+impl<N: Proto> ChaosCluster<N> {
+    fn new(nodes: Vec<N>, plan: ChaosPlan) -> Self {
+        ChaosCluster {
+            nodes,
+            router: ChaosRouter::new(plan, RetransmitPolicy::default()),
+        }
+    }
+
+    fn route(&mut self, sends: Vec<Envelope>) -> Vec<(usize, Action)> {
+        let nodes = &mut self.nodes;
+        let done = self.router.route(sends, &mut |env| {
+            let to = env.to;
+            nodes[to].handle(env)
+        });
+        assert_eq!(
+            self.router.rel().in_flight_len(),
+            0,
+            "cascade quiesced with unacked packets in flight"
+        );
+        done
+    }
+
+    fn validate(&mut self, node: usize, addr: usize, len: usize, write: bool) {
+        for page in self.nodes[node].pages_in(addr, len) {
+            if self.nodes[node].page_ok(page, write) {
+                continue;
+            }
+            let start = self.nodes[node].fault(page, write);
+            let ready = start.ready;
+            let done = self.route(start.sends);
+            assert!(
+                ready || done.contains(&(node, Action::PageReady(page))),
+                "fault on page {page} did not complete"
+            );
+        }
+    }
+
+    fn read_u64(&mut self, node: usize, addr: usize) -> u64 {
+        self.validate(node, addr, 8, false);
+        let mut b = [0u8; 8];
+        self.nodes[node].read_into(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn write_u64(&mut self, node: usize, addr: usize, v: u64) {
+        self.validate(node, addr, 8, true);
+        self.nodes[node].write_from(addr, &v.to_le_bytes());
+    }
+
+    fn lock(&mut self, node: usize, lock: usize) {
+        match self.nodes[node].acquire(lock) {
+            StartAcquire::Granted => {}
+            StartAcquire::Wait(sends) => {
+                let done = self.route(sends);
+                assert!(
+                    done.contains(&(node, Action::LockGranted(lock))),
+                    "uncontended acquire of lock {lock} did not complete"
+                );
+            }
+        }
+    }
+
+    fn unlock(&mut self, node: usize, lock: usize) {
+        let sends = self.nodes[node].release(lock);
+        self.route(sends);
+    }
+
+    fn barrier(&mut self, barrier: usize) {
+        let n = self.nodes.len();
+        let mut completed = false;
+        for node in 0..n {
+            let start = self.nodes[node].barrier_arrive(barrier);
+            completed |= start.ready;
+            let done = self.route(start.sends);
+            completed |= done
+                .iter()
+                .any(|&(_, a)| a == Action::BarrierDone(barrier));
+        }
+        assert!(completed, "barrier {barrier} did not complete");
+    }
+}
+
+fn chaos_plan_strategy() -> impl Strategy<Value = ChaosPlan> {
+    // The vendored proptest has no f64 range strategy; draw permille values.
+    (any::<u64>(), 0u32..300, 0u32..200, 0u32..200).prop_map(|(seed, drop, dup, delay)| {
+        ChaosPlan {
+            seed,
+            drop: f64::from(drop) / 1000.0,
+            dup: f64::from(dup) / 1000.0,
+            delay: f64::from(delay) / 1000.0,
+        }
+    })
+}
+
+/// Runs the shared random program on a chaos cluster and returns the final
+/// shared-memory image as observed by every node (slot values then each
+/// node's private region), so two runs can be compared verbatim.
+fn run_chaos_program<N: Proto>(nodes: Vec<N>, plan: ChaosPlan, ops: &[Op]) -> Vec<u64> {
+    let n = nodes.len();
+    let slots = 8usize;
+    let base = 0usize;
+    let own = slots * 8;
+    let mut c = ChaosCluster::new(nodes, plan);
+    for op in ops {
+        match *op {
+            Op::LockedAdd { node, slot, delta } => {
+                let (node, slot) = (node % n, slot % slots);
+                c.lock(node, 0);
+                let v = c.read_u64(node, base + slot * 8);
+                c.write_u64(node, base + slot * 8, v + u64::from(delta));
+                c.unlock(node, 0);
+            }
+            Op::Barrier => c.barrier(0),
+            Op::OwnWrite { node, value } => {
+                let node = node % n;
+                c.write_u64(node, own + node * 8, u64::from(value));
+            }
+        }
+    }
+    c.barrier(1);
+    let mut image = Vec::new();
+    for node in 0..n {
+        for slot in 0..slots {
+            image.push(c.read_u64(node, base + slot * 8));
+        }
+        for q in 0..n {
+            image.push(c.read_u64(node, own + q * 8));
+        }
+    }
+    image
 }

@@ -12,9 +12,12 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use tmk_core::{Action, Config, Envelope, IvyNode, Node, NodeId, Traffic};
+use tmk_core::{
+    Action, Config, Envelope, IvyNode, Node, NodeId, PacketId, Reliability, RetransmitPolicy,
+    Traffic,
+};
 use tmk_mem::{CacheParams, DirectCache, Probe};
-use tmk_net::{NetParams, PointToPointNet, SoftwareOverhead};
+use tmk_net::{Fate, LossyNet, NetParams, PointToPointNet, SoftwareOverhead};
 use tmk_parmacs::{InitWriter, System};
 use tmk_sim::{Ctx, Cycle, Op};
 
@@ -144,17 +147,27 @@ impl ProtoNode {
     pub(crate) fn master_write(&mut self, addr: usize, bytes: &[u8]) {
         delegate!(self, n => n.master_write(addr, bytes))
     }
+    pub(crate) fn sync_debug(&self) -> String {
+        delegate!(self, n => n.sync_debug())
+    }
 }
 
 /// The shared machine state: all protocol nodes plus the network.
 pub struct DsmMachine {
     pub(crate) nodes: Vec<ProtoNode>,
     caches: Vec<DirectCache>,
-    net: PointToPointNet,
+    net: LossyNet,
     pub(crate) params: DsmParams,
     pub(crate) traffic: Traffic,
     pub(crate) mark: (Cycle, Traffic),
     header_bytes: usize,
+    /// End-to-end reliability layer (`None` = raw datagrams: a dropped
+    /// message is lost forever and the watchdog is the only way out).
+    pub(crate) rel: Option<Reliability>,
+    /// Timeout/backoff knobs used when `rel` is armed.
+    pub(crate) policy: RetransmitPolicy,
+    /// Per-processor cycle ceiling forwarded to the engine's watchdog.
+    pub(crate) watchdog_budget: Option<Cycle>,
 }
 
 impl DsmMachine {
@@ -171,6 +184,11 @@ impl DsmMachine {
             cfg = cfg.eager_release_lock(l);
         }
         let header_bytes = cfg.header_bytes;
+        let wire = PointToPointNet::new(params.procs, params.net);
+        let net = match &tuning.faults {
+            Some(plan) => LossyNet::faulty(wire, plan.clone()),
+            None => LossyNet::perfect(wire),
+        };
         DsmMachine {
             nodes: (0..params.procs)
                 .map(|i| match tuning.protocol {
@@ -181,11 +199,14 @@ impl DsmMachine {
             caches: (0..params.procs)
                 .map(|_| DirectCache::new(params.cache))
                 .collect(),
-            net: PointToPointNet::new(params.procs, params.net),
+            net,
             traffic: Traffic::default(),
             mark: (0, Traffic::default()),
             header_bytes,
             params,
+            rel: tuning.reliability.map(|_| Reliability::new()),
+            policy: tuning.reliability.unwrap_or_default(),
+            watchdog_budget: tuning.watchdog_budget,
         }
     }
 
@@ -239,8 +260,26 @@ pub(crate) struct Routed {
     pub initiator_busy_until: Cycle,
 }
 
+/// A scheduled event in a cascade's virtual-time queue.
+enum Ev {
+    /// A message copy arriving at its destination (reliability id attached
+    /// when the packet is tracked).
+    Deliver(Envelope, Option<PacketId>),
+    /// A sender-side retransmission timer for an unacked packet.
+    Retry(Envelope, PacketId),
+}
+
 /// Routes a protocol cascade to quiescence with full timing, starting from
 /// `sends` issued by `me` at time `t0`.
+///
+/// Every hop runs through the machine's [`LossyNet`]: a copy can be
+/// dropped, duplicated, or delayed per the fault plan. When the machine's
+/// reliability layer is armed, each cross-node packet gets a sequence
+/// number and a retransmission timer (delivery doubles as the ack — replies
+/// piggyback it in the real protocol); dropped copies are re-sent after a
+/// timeout with exponential backoff, and duplicate arrivals are suppressed
+/// before the protocol handler sees them. Without the layer, a dropped
+/// message is simply gone — the engine watchdog is what ends the run.
 pub(crate) fn route_timed(
     m: &mut DsmMachine,
     me: NodeId,
@@ -250,7 +289,7 @@ pub(crate) fn route_timed(
     use std::cmp::Reverse;
 
     let mut heap: BinaryHeap<Reverse<(Cycle, u64)>> = BinaryHeap::new();
-    let mut inflight: HashMap<u64, Envelope> = HashMap::new();
+    let mut events: HashMap<u64, Ev> = HashMap::new();
     let mut seq: u64 = 0;
     let mut avail: HashMap<NodeId, Cycle> = HashMap::new();
     avail.insert(me, t0);
@@ -260,50 +299,123 @@ pub(crate) fn route_timed(
         initiator_busy_until: t0,
     };
 
-    let enqueue = |m: &mut DsmMachine,
-                       avail: &mut HashMap<NodeId, Cycle>,
-                       heap: &mut BinaryHeap<Reverse<(Cycle, u64)>>,
-                       inflight: &mut HashMap<u64, Envelope>,
-                       seq: &mut u64,
-                       charges: &mut Vec<(NodeId, Cycle)>,
-                       env: Envelope| {
+    // One transmission attempt: charges the sender, reserves the wire,
+    // rolls the fault fate, and schedules arrivals plus (when tracked) the
+    // retransmission timer. `retrans_of` carries the packet id and retry
+    // count when this is a re-send of an already-registered packet.
+    let send_one = |m: &mut DsmMachine,
+                    avail: &mut HashMap<NodeId, Cycle>,
+                    heap: &mut BinaryHeap<Reverse<(Cycle, u64)>>,
+                    events: &mut HashMap<u64, Ev>,
+                    seq: &mut u64,
+                    charges: &mut Vec<(NodeId, Cycle)>,
+                    env: Envelope,
+                    retrans_of: Option<(PacketId, u32)>| {
         let from = env.from;
         let to = env.to;
         let t_out = *avail.entry(from).or_insert(t0);
-        let deliver_at = if from == to {
-            t_out
-        } else {
-            let body = env.msg.body_bytes().total();
-            let send_c = m.params.so.send_cycles(body);
-            let recv_c = m.params.so.recv_cycles(body);
-            charges.push((from, send_c));
-            charges.push((to, recv_c));
-            avail.insert(from, t_out + send_c);
-            let depart = t_out + send_c;
-            let wire = m.header_bytes + body;
-            m.traffic.record(&env, m.header_bytes);
-            let arrive = m.net.transfer(from, to, wire, depart);
-            arrive + recv_c
+        if from == to {
+            // Self-sends take the loopback path: no wire, no loss.
+            heap.push(Reverse((t_out, *seq)));
+            events.insert(*seq, Ev::Deliver(env, None));
+            *seq += 1;
+            return;
+        }
+        let body = env.msg.body_bytes().total();
+        let send_c = m.params.so.send_cycles(body);
+        let recv_c = m.params.so.recv_cycles(body);
+        charges.push((from, send_c));
+        avail.insert(from, t_out + send_c);
+        let depart = t_out + send_c;
+        let wire = m.header_bytes + body;
+        m.traffic.record(&env, m.header_bytes);
+        let (pid, attempt) = match retrans_of {
+            Some((pid, attempt)) => (Some(pid), attempt),
+            None => (m.rel.as_mut().map(|r| r.register(&env)), 0),
         };
-        heap.push(Reverse((deliver_at, *seq)));
-        inflight.insert(*seq, env);
-        *seq += 1;
+        if let Some(pid) = pid {
+            let expire = depart + m.policy.timeout_for(attempt);
+            heap.push(Reverse((expire, *seq)));
+            events.insert(*seq, Ev::Retry(env.clone(), pid));
+            *seq += 1;
+        }
+        let fate = m.net.fate(from, to, env.msg.class().bit());
+        let mut arrivals: Vec<Cycle> = Vec::new();
+        match fate {
+            Fate::Drop => {
+                // The copy occupied the wire; it just never arrives.
+                let _ = m.net.transfer(from, to, wire, depart);
+            }
+            Fate::Deliver => arrivals.push(m.net.transfer(from, to, wire, depart)),
+            Fate::Duplicate => {
+                arrivals.push(m.net.transfer(from, to, wire, depart));
+                arrivals.push(m.net.transfer(from, to, wire, depart));
+            }
+            Fate::Delay(extra) => {
+                arrivals.push(m.net.transfer(from, to, wire, depart) + extra)
+            }
+        }
+        for arrive in arrivals {
+            charges.push((to, recv_c));
+            heap.push(Reverse((arrive + recv_c, *seq)));
+            events.insert(*seq, Ev::Deliver(env.clone(), pid));
+            *seq += 1;
+        }
     };
 
     for env in sends {
-        enqueue(
+        send_one(
             m,
             &mut avail,
             &mut heap,
-            &mut inflight,
+            &mut events,
             &mut seq,
             &mut out.charges,
             env,
+            None,
         );
     }
 
     while let Some(Reverse((t, s))) = heap.pop() {
-        let env = inflight.remove(&s).expect("in-flight message");
+        let env = match events.remove(&s).expect("scheduled event") {
+            Ev::Retry(env, pid) => {
+                if !m.rel.as_ref().is_some_and(|r| r.is_in_flight(pid)) {
+                    continue; // acked in the meantime: stale timer
+                }
+                let retries = m.rel.as_mut().expect("tracked packet").bump_retry(pid);
+                assert!(
+                    retries <= m.policy.max_retries,
+                    "reliability gave up: {} -> {} seq {} still unacked after {} retransmissions",
+                    pid.0,
+                    pid.1,
+                    pid.2,
+                    m.policy.max_retries,
+                );
+                // The sender is free no earlier than the timer expiry.
+                let a = avail.entry(env.from).or_insert(t0);
+                *a = (*a).max(t);
+                send_one(
+                    m,
+                    &mut avail,
+                    &mut heap,
+                    &mut events,
+                    &mut seq,
+                    &mut out.charges,
+                    env,
+                    Some((pid, retries)),
+                );
+                continue;
+            }
+            Ev::Deliver(env, pid) => {
+                if let (Some(pid), Some(rel)) = (pid, m.rel.as_mut()) {
+                    rel.acked(pid); // delivery doubles as the piggybacked ack
+                    if !rel.accept(pid) {
+                        continue; // duplicate suppressed before the handler
+                    }
+                }
+                env
+            }
+        };
         let to = env.to;
         let begin = t.max(avail.get(&to).copied().unwrap_or(0));
         let before = *m.nodes[to].stats();
@@ -322,18 +434,26 @@ pub(crate) fn route_timed(
             out.actions.push((to, a, ready));
         }
         for next in handled.sends {
-            enqueue(
+            send_one(
                 m,
                 &mut avail,
                 &mut heap,
-                &mut inflight,
+                &mut events,
                 &mut seq,
                 &mut out.charges,
                 next,
+                None,
             );
         }
     }
 
+    if let Some(rel) = &m.rel {
+        assert_eq!(
+            rel.in_flight_len(),
+            0,
+            "cascade quiesced with unacked packets in flight"
+        );
+    }
     out.initiator_busy_until = avail.get(&me).copied().unwrap_or(t0);
     out
 }
@@ -501,7 +621,7 @@ impl System for DsmSys<'_, '_> {
                         {
                             true
                         } else {
-                            op.block();
+                            op.block_on(format!("lock {lock} grant"));
                             false
                         }
                     }
@@ -542,7 +662,7 @@ impl System for DsmSys<'_, '_> {
             if ready || mine.iter().any(|(a, _)| *a == Action::BarrierDone(barrier)) {
                 true
             } else {
-                op.block();
+                op.block_on(format!("barrier {barrier} release"));
                 false
             }
         });
@@ -580,6 +700,34 @@ impl DsmMachine {
             report.cache.misses += s.misses;
             report.cache.evictions += s.evictions;
         }
+        report.net_faults = self.net.fault_stats();
+        if let Some(rel) = &self.rel {
+            report.reliability = *rel.stats();
+        }
+    }
+
+    /// Machine-state dump appended to the engine watchdog's diagnostics:
+    /// per-node synchronization state (lock tokens, holders, barrier
+    /// arrivals) plus reliability and fault counters.
+    pub(crate) fn diagnostics(&self) -> String {
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!("  node {i}: {}\n", n.sync_debug()));
+        }
+        if let Some(rel) = &self.rel {
+            s.push_str(&format!(
+                "  reliability: {} packets unacked in flight\n",
+                rel.in_flight_len()
+            ));
+        }
+        let fs = self.net.fault_stats();
+        if fs.decisions > 0 {
+            s.push_str(&format!(
+                "  injected faults: {} drops, {} dups, {} delays of {} decisions\n",
+                fs.drops, fs.dups, fs.delays, fs.decisions
+            ));
+        }
+        s
     }
 }
 
@@ -589,13 +737,15 @@ mod tests {
     use tmk_parmacs::SystemExt;
     use tmk_sim::Engine;
 
-    fn run<R: Send>(
-        procs: usize,
+    fn run_tuned<R: Send>(
+        params: DsmParams,
+        tuning: &crate::DsmTuning,
         body: impl Fn(&DsmSys<'_, '_>) -> R + Send + Sync,
     ) -> (Vec<R>, DsmMachine, Vec<Cycle>) {
-        let params = DsmParams::treadmarks_dec_atm(procs);
-        let machine = DsmMachine::new(params, 1 << 16, &crate::DsmTuning::default());
-        let engine = Engine::new(machine, procs);
+        let procs = params.procs;
+        let machine = DsmMachine::new(params, 1 << 16, tuning);
+        let engine =
+            Engine::new(machine, procs).with_diagnostics(|m: &DsmMachine| m.diagnostics());
         let results: parking_lot::Mutex<Vec<Option<R>>> =
             parking_lot::Mutex::new((0..procs).map(|_| None).collect());
         let r = engine.run(|ctx| {
@@ -609,6 +759,17 @@ mod tests {
             .map(|o| o.unwrap())
             .collect();
         (results, r.machine, r.clocks)
+    }
+
+    fn run<R: Send>(
+        procs: usize,
+        body: impl Fn(&DsmSys<'_, '_>) -> R + Send + Sync,
+    ) -> (Vec<R>, DsmMachine, Vec<Cycle>) {
+        run_tuned(
+            DsmParams::treadmarks_dec_atm(procs),
+            &crate::DsmTuning::default(),
+            body,
+        )
     }
 
     #[test]
@@ -665,6 +826,136 @@ mod tests {
         });
         assert!(results.into_iter().all(|v| v == 123));
         assert!(m.traffic.miss_bytes >= 4096, "page moved at least once");
+    }
+
+    fn chaos_tuning(seed: u64, drop: f64) -> crate::DsmTuning {
+        crate::DsmTuning {
+            faults: Some(
+                tmk_net::FaultPlan::drop_rate(seed, drop)
+                    .with_dup(0.02)
+                    .with_delay(0.02, 2_000),
+            ),
+            reliability: Some(RetransmitPolicy::default()),
+            ..Default::default()
+        }
+    }
+
+    fn counter_workload(sys: &DsmSys<'_, '_>) -> u64 {
+        for _ in 0..10 {
+            sys.lock(0);
+            let v: u64 = sys.read(0);
+            sys.write(0, v + 1);
+            sys.unlock(0);
+        }
+        sys.barrier(0);
+        sys.read::<u64>(0)
+    }
+
+    #[test]
+    fn retransmission_masks_heavy_losses() {
+        let (results, m, _) = run_tuned(
+            DsmParams::as_sim(4),
+            &chaos_tuning(42, 0.05),
+            counter_workload,
+        );
+        assert!(results.into_iter().all(|v| v == 40));
+        let fs = m.net.fault_stats();
+        assert!(fs.drops > 0, "seed produced no drops: {fs:?}");
+        let rel = m.rel.as_ref().unwrap().stats();
+        assert!(rel.retransmissions > 0, "drops without retransmissions");
+        assert_eq!(rel.timeouts, rel.retransmissions);
+        assert!(rel.acks > 0);
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_exactly() {
+        let go = || {
+            run_tuned(
+                DsmParams::as_sim(4),
+                &chaos_tuning(7, 0.02),
+                counter_workload,
+            )
+        };
+        let (r1, m1, c1) = go();
+        let (r2, m2, c2) = go();
+        assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+        assert_eq!(m1.traffic, m2.traffic);
+        assert_eq!(m1.net.fault_stats(), m2.net.fault_stats());
+    }
+
+    #[test]
+    fn losses_cost_simulated_time() {
+        let clean = run_tuned(
+            DsmParams::as_sim(4),
+            &crate::DsmTuning {
+                reliability: Some(RetransmitPolicy::default()),
+                ..Default::default()
+            },
+            counter_workload,
+        );
+        let lossy = run_tuned(
+            DsmParams::as_sim(4),
+            &crate::DsmTuning {
+                faults: Some(tmk_net::FaultPlan::drop_rate(42, 0.05)),
+                reliability: Some(RetransmitPolicy::default()),
+                ..Default::default()
+            },
+            counter_workload,
+        );
+        let t_clean = clean.2.iter().copied().max().unwrap();
+        let t_lossy = lossy.2.iter().copied().max().unwrap();
+        assert!(
+            t_lossy > t_clean,
+            "timeout-driven retransmission should cost time ({t_lossy} vs {t_clean})"
+        );
+    }
+
+    fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+        match p.downcast::<String>() {
+            Ok(s) => *s,
+            Err(p) => p
+                .downcast::<&'static str>()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|_| "non-string panic".into()),
+        }
+    }
+
+    #[test]
+    fn lost_lock_grant_without_reliability_trips_the_watchdog() {
+        // Drop every lock-class message on the floor, with no
+        // retransmission layer to recover: node 1's acquire must end in the
+        // watchdog's diagnostic abort, not a hang.
+        let tuning = crate::DsmTuning {
+            faults: Some(
+                tmk_net::FaultPlan::drop_rate(3, 1.0)
+                    .with_class_mask(tmk_core::MsgClass::SyncLock.bit()),
+            ),
+            ..Default::default()
+        };
+        let machine = DsmMachine::new(DsmParams::as_sim(2), 1 << 16, &tuning);
+        let engine =
+            Engine::new(machine, 2).with_diagnostics(|m: &DsmMachine| m.diagnostics());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(|ctx| {
+                let sys = DsmSys::new(ctx);
+                if sys.pid() == 0 {
+                    sys.lock(0); // token starts here; held to the end
+                } else {
+                    sys.compute(10);
+                    sys.lock(0); // request dropped: the grant never comes
+                }
+            });
+        }))
+        .expect_err("the run must abort instead of hanging");
+        let msg = panic_message(err);
+        assert!(msg.contains("simulation deadlock"), "{msg}");
+        assert!(msg.contains("waiting on lock 0 grant"), "{msg}");
+        assert!(
+            msg.contains("node 0: lock 0: token here, held=true"),
+            "{msg}"
+        );
+        assert!(msg.contains("injected faults: 1 drops"), "{msg}");
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct RunReport {
     pub mark_cycles: Cycle,
     /// Traffic snapshot at the mark.
     pub mark_traffic: Traffic,
+    /// Reliability-layer statistics (acks, retransmissions, suppressed
+    /// duplicates); all-zero when the layer is off or on hardware
+    /// platforms.
+    pub reliability: tmk_core::RelStats,
+    /// Injected network faults (all-zero on a perfect network).
+    pub net_faults: tmk_net::FaultStats,
 }
 
 impl RunReport {
@@ -86,6 +92,23 @@ impl RunReport {
             .set("traffic", traffic_json(&self.traffic))
             .set("window_traffic", traffic_json(&self.window_traffic()))
             .set("dsm", node_stats_json(&self.dsm))
+            .set(
+                "reliability",
+                Json::obj()
+                    .set("data_msgs", self.reliability.data_msgs)
+                    .set("retransmissions", self.reliability.retransmissions)
+                    .set("timeouts", self.reliability.timeouts)
+                    .set("dup_suppressed", self.reliability.dup_suppressed)
+                    .set("acks", self.reliability.acks),
+            )
+            .set(
+                "net_faults",
+                Json::obj()
+                    .set("decisions", self.net_faults.decisions)
+                    .set("drops", self.net_faults.drops)
+                    .set("dups", self.net_faults.dups)
+                    .set("delays", self.net_faults.delays),
+            )
             .set(
                 "cache",
                 Json::obj()

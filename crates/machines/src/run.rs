@@ -22,6 +22,18 @@ pub struct DsmTuning {
     pub eager_all: bool,
     /// Which protocol the AS cluster runs (the hybrid always runs LRC).
     pub protocol: crate::dsm::DsmProtocol,
+    /// Seeded network fault injection on the AS cluster's links
+    /// (drop/duplicate/delay); `None` = perfect network. The hybrid
+    /// currently ignores this (its inter-node traffic stays fault-free).
+    pub faults: Option<tmk_net::FaultPlan>,
+    /// Arms the end-to-end retransmission layer (per-message sequence
+    /// numbers, piggybacked acks, timeout + exponential backoff,
+    /// duplicate suppression). `None` sends raw datagrams: any dropped
+    /// message hangs its cascade until the watchdog fires.
+    pub reliability: Option<tmk_core::RetransmitPolicy>,
+    /// Aborts the run with a per-processor diagnostic dump once any
+    /// simulated clock passes this budget (livelock guard).
+    pub watchdog_budget: Option<tmk_sim::Cycle>,
 }
 
 /// The five platforms of the case study.
@@ -117,6 +129,34 @@ impl Platform {
             }
             if matches!(tuning.protocol, crate::dsm::DsmProtocol::Ivy) {
                 s.push_str("/ivy");
+            }
+            if let Some(f) = &tuning.faults {
+                s.push_str(&format!(
+                    "/fs{}d{}u{}y{}c{}m{:02x}",
+                    f.seed, f.drop, f.dup, f.delay, f.delay_cycles, f.class_mask
+                ));
+                if !f.only_links.is_empty() {
+                    let ls: Vec<String> = f
+                        .only_links
+                        .iter()
+                        .map(|(a, b)| format!("{a}-{b}"))
+                        .collect();
+                    s.push_str(&format!("l{}", ls.join(",")));
+                }
+                if !f.link_scales.is_empty() {
+                    let ls: Vec<String> = f
+                        .link_scales
+                        .iter()
+                        .map(|(a, b, x)| format!("{a}-{b}*{x}"))
+                        .collect();
+                    s.push_str(&format!("s{}", ls.join(",")));
+                }
+            }
+            if let Some(r) = &tuning.reliability {
+                s.push_str(&format!("/rt{}b{}r{}", r.timeout, r.backoff, r.max_retries));
+            }
+            if let Some(w) = tuning.watchdog_budget {
+                s.push_str(&format!("/wd{w}"));
             }
             s
         }
@@ -288,7 +328,12 @@ where
     R: Send,
     FB: Fn(&dyn System, &P) -> R + Send + Sync,
 {
-    let engine = Engine::new(machine, procs);
+    let budget = machine.watchdog_budget;
+    let mut engine =
+        Engine::new(machine, procs).with_diagnostics(|m: &DsmMachine| m.diagnostics());
+    if let Some(b) = budget {
+        engine = engine.with_cycle_budget(b);
+    }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
     let run = engine.run(|ctx| {
         let sys = DsmSys::new(ctx);

@@ -13,7 +13,16 @@
 //!
 //! All parameters are in processor cycles; see `DESIGN.md` §4 for how each
 //! value was reconstructed (the paper scrape lost its numerals).
+//!
+//! The wire can also be made *unreliable on purpose*: [`FaultPlan`]
+//! describes a seeded, deterministic schedule of drops, duplicates and
+//! delays, and [`LossyNet`] applies it on top of a [`PointToPointNet`].
+//! TreadMarks ran over UDP and carried its own timeout/retransmit
+//! machinery; the fault layer is what lets the reproduction exercise that
+//! path (see `DESIGN.md` §4).
 
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 use tmk_sim::Cycle;
 
 /// Word size used for per-word software costs (32-bit MIPS word).
@@ -198,7 +207,15 @@ impl PointToPointNet {
     /// Panics if `from == to` (local delivery never touches the network).
     pub fn transfer(&mut self, from: usize, to: usize, bytes: usize, depart: Cycle) -> Cycle {
         assert_ne!(from, to, "loopback messages do not use the network");
-        let wire = (bytes as f64 * self.params.cycles_per_byte).ceil() as Cycle;
+        let wire_f = (bytes as f64 * self.params.cycles_per_byte).ceil();
+        // `f64 as u64` silently saturates (and loses integer precision past
+        // 2^53), which would wedge link occupancy near Cycle::MAX instead of
+        // failing loudly. No physical message is anywhere near this size.
+        assert!(
+            wire_f.is_finite() && wire_f < (1u64 << 53) as f64,
+            "transfer of {bytes} bytes ({wire_f} wire cycles) does not fit in the Cycle clock"
+        );
+        let wire = wire_f as Cycle;
         let start = depart.max(self.tx_free[from]).max(self.rx_free[to]);
         let done = start + wire;
         self.tx_free[from] = done;
@@ -216,6 +233,245 @@ impl PointToPointNet {
     /// Bytes carried so far.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// What the (faulty) wire does to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently lost.
+    Drop,
+    /// Delivered twice (the second copy re-occupies the link).
+    Duplicate,
+    /// Delivered with this many extra cycles of flight time (reordering it
+    /// behind later traffic).
+    Delay(Cycle),
+}
+
+/// A seeded, deterministic schedule of network faults.
+///
+/// Rates are independent per-message probabilities, rolled in delivery
+/// order from `SmallRng::seed_from_u64(seed)`, so a plan replays
+/// bit-exactly: the same seed and the same traffic produce the same drops.
+/// Faults can be restricted to a subset of message classes (`class_mask`, a
+/// bitmask the protocol layer derives from its `MsgClass`) and to specific
+/// directed links (`only_links`); per-link rate scaling comes from
+/// `link_scales`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability a message is lost.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub dup: f64,
+    /// Probability a message is delayed by `delay_cycles`.
+    pub delay: f64,
+    /// Extra flight cycles added to a delayed message.
+    pub delay_cycles: Cycle,
+    /// Bitmask of fault-eligible message classes (bit n = class n);
+    /// `ALL_CLASSES` faults everything.
+    pub class_mask: u8,
+    /// When non-empty, only these directed `(from, to)` links are faulty.
+    pub only_links: Vec<(usize, usize)>,
+    /// Per-link rate multipliers `(from, to, scale)`; links not listed use
+    /// the base rates.
+    pub link_scales: Vec<(usize, usize, f64)>,
+}
+
+/// `class_mask` value faulting every message class.
+pub const ALL_CLASSES: u8 = 0xff;
+
+impl FaultPlan {
+    /// A plan that drops messages with probability `drop` on every link and
+    /// class, with no duplication or delay.
+    pub fn drop_rate(seed: u64, drop: f64) -> Self {
+        FaultPlan {
+            seed,
+            drop,
+            dup: 0.0,
+            delay: 0.0,
+            delay_cycles: 0,
+            class_mask: ALL_CLASSES,
+            only_links: Vec::new(),
+            link_scales: Vec::new(),
+        }
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_dup(mut self, dup: f64) -> Self {
+        self.dup = dup;
+        self
+    }
+
+    /// Sets the delay probability and magnitude.
+    pub fn with_delay(mut self, delay: f64, cycles: Cycle) -> Self {
+        self.delay = delay;
+        self.delay_cycles = cycles;
+        self
+    }
+
+    /// Restricts faults to message classes in `mask`.
+    pub fn with_class_mask(mut self, mask: u8) -> Self {
+        self.class_mask = mask;
+        self
+    }
+
+    /// Restricts faults to the directed links listed.
+    pub fn with_only_links(mut self, links: Vec<(usize, usize)>) -> Self {
+        self.only_links = links;
+        self
+    }
+
+    /// Whether the plan can affect any message at all.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0 || self.dup > 0.0 || self.delay > 0.0
+    }
+
+    fn scale(&self, from: usize, to: usize) -> f64 {
+        self.link_scales
+            .iter()
+            .find(|&&(f, t, _)| f == from && t == to)
+            .map_or(1.0, |&(_, _, s)| s)
+    }
+
+    fn applies(&self, from: usize, to: usize, class_bit: u8) -> bool {
+        (self.class_mask & class_bit) != 0
+            && (self.only_links.is_empty() || self.only_links.contains(&(from, to)))
+    }
+}
+
+/// Counters for what a [`LossyNet`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages the fault plan was consulted about.
+    pub decisions: u64,
+    /// Messages dropped.
+    pub drops: u64,
+    /// Messages duplicated.
+    pub dups: u64,
+    /// Messages delayed.
+    pub delays: u64,
+}
+
+/// A [`PointToPointNet`] behind a deterministic fault injector.
+///
+/// Timing (occupancy, latency) is delegated to the inner network untouched;
+/// the router asks [`LossyNet::fate`] what happens to each message and is
+/// responsible for acting on the verdict (not scheduling a delivery for a
+/// drop, scheduling two for a duplicate). With `plan == None` the wrapper
+/// is a transparent pass-through: no random numbers are drawn and timing is
+/// bit-identical to the bare network.
+#[derive(Debug, Clone)]
+pub struct LossyNet {
+    inner: PointToPointNet,
+    plan: Option<FaultPlan>,
+    rng: Option<SmallRng>,
+    stats: FaultStats,
+}
+
+impl LossyNet {
+    /// A perfectly reliable wrapper (every fate is [`Fate::Deliver`]).
+    pub fn perfect(inner: PointToPointNet) -> Self {
+        LossyNet {
+            inner,
+            plan: None,
+            rng: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// A wrapper applying `plan`'s seeded fault schedule.
+    pub fn faulty(inner: PointToPointNet, plan: FaultPlan) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        LossyNet {
+            inner,
+            plan: Some(plan),
+            rng: Some(rng),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Decides what happens to a message on link `from → to` whose class
+    /// bit is `class_bit`. Consumes randomness only for fault-eligible
+    /// messages, in call order — the caller must consult fates in a
+    /// deterministic order for schedules to replay.
+    pub fn fate(&mut self, from: usize, to: usize, class_bit: u8) -> Fate {
+        let Some(plan) = &self.plan else {
+            return Fate::Deliver;
+        };
+        if !plan.applies(from, to, class_bit) {
+            return Fate::Deliver;
+        }
+        let scale = plan.scale(from, to);
+        let rng = self.rng.as_mut().expect("faulty net has an rng");
+        self.stats.decisions += 1;
+        // One u64 draw per eligible message, partitioned into [drop | dup |
+        // delay | deliver] bands: cheap, deterministic, and exactly one
+        // stream position per message regardless of outcome.
+        let roll = rng.next_u64();
+        let band = |p: f64| -> u64 {
+            let p = (p * scale).clamp(0.0, 1.0);
+            // 2^64 * p, saturating: p == 1.0 maps to u64::MAX (always hit).
+            if p >= 1.0 {
+                u64::MAX
+            } else {
+                (p * (u64::MAX as f64)) as u64
+            }
+        };
+        let d = band(plan.drop);
+        let du = d.saturating_add(band(plan.dup));
+        let de = du.saturating_add(band(plan.delay));
+        if roll < d {
+            self.stats.drops += 1;
+            Fate::Drop
+        } else if roll < du {
+            self.stats.dups += 1;
+            Fate::Duplicate
+        } else if roll < de {
+            self.stats.delays += 1;
+            Fate::Delay(self.plan.as_ref().expect("plan").delay_cycles)
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    /// Schedules a transfer on the inner network (see
+    /// [`PointToPointNet::transfer`]).
+    pub fn transfer(&mut self, from: usize, to: usize, bytes: usize, depart: Cycle) -> Cycle {
+        self.inner.transfer(from, to, bytes, depart)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> NetParams {
+        self.inner.params()
+    }
+
+    /// Messages carried so far (physical transmissions, including
+    /// duplicates and retransmissions).
+    pub fn messages(&self) -> u64 {
+        self.inner.messages()
+    }
+
+    /// Bytes carried so far.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    /// Fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
     }
 }
 
@@ -306,5 +562,92 @@ mod tests {
     fn loopback_rejected() {
         let mut net = PointToPointNet::new(2, NetParams::crossbar_100mhz());
         net.transfer(1, 1, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in the Cycle clock")]
+    fn absurd_transfer_size_panics_instead_of_saturating() {
+        let mut net = PointToPointNet::new(2, NetParams::atm_40mhz());
+        // usize::MAX bytes at 8 cycles/byte is far beyond 2^53 wire cycles;
+        // the old `as Cycle` cast silently saturated here.
+        net.transfer(0, 1, usize::MAX, 0);
+    }
+
+    #[test]
+    fn largest_sane_transfer_still_converts_exactly() {
+        let mut net = PointToPointNet::new(2, NetParams::atm_40mhz());
+        // 2^49 bytes * 8 cycles/byte = 2^52 cycles: inside f64's exact
+        // integer range, so the checked conversion must accept it.
+        let arrive = net.transfer(0, 1, 1usize << 49, 0);
+        assert_eq!(arrive, (1u64 << 52) + 400);
+    }
+
+    #[test]
+    fn fault_plan_replays_bit_exactly() {
+        let plan = FaultPlan::drop_rate(7, 0.3).with_dup(0.2).with_delay(0.1, 50);
+        let mut a = LossyNet::faulty(PointToPointNet::new(4, NetParams::atm_100mhz()), plan.clone());
+        let mut b = LossyNet::faulty(PointToPointNet::new(4, NetParams::atm_100mhz()), plan);
+        let fates_a: Vec<Fate> = (0..500).map(|i| a.fate(i % 4, (i + 1) % 4, 1)).collect();
+        let fates_b: Vec<Fate> = (0..500).map(|i| b.fate(i % 4, (i + 1) % 4, 1)).collect();
+        assert_eq!(fates_a, fates_b);
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert!(a.fault_stats().drops > 0);
+        assert!(a.fault_stats().dups > 0);
+        assert!(a.fault_stats().delays > 0);
+        assert_eq!(a.fault_stats().decisions, 500);
+    }
+
+    #[test]
+    fn zero_rate_plan_never_faults_and_perfect_draws_nothing() {
+        let mut lossy = LossyNet::faulty(
+            PointToPointNet::new(2, NetParams::atm_100mhz()),
+            FaultPlan::drop_rate(1, 0.0),
+        );
+        let mut perfect = LossyNet::perfect(PointToPointNet::new(2, NetParams::atm_100mhz()));
+        for _ in 0..100 {
+            assert_eq!(lossy.fate(0, 1, ALL_CLASSES), Fate::Deliver);
+            assert_eq!(perfect.fate(0, 1, ALL_CLASSES), Fate::Deliver);
+        }
+        assert_eq!(lossy.fault_stats().drops, 0);
+        assert_eq!(perfect.fault_stats().decisions, 0);
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let mut lossy = LossyNet::faulty(
+            PointToPointNet::new(2, NetParams::atm_100mhz()),
+            FaultPlan::drop_rate(9, 1.0),
+        );
+        for _ in 0..100 {
+            assert_eq!(lossy.fate(0, 1, 1), Fate::Drop);
+        }
+        assert_eq!(lossy.fault_stats().drops, 100);
+    }
+
+    #[test]
+    fn class_mask_and_link_filter_gate_faults() {
+        let plan = FaultPlan::drop_rate(3, 1.0)
+            .with_class_mask(0b0010)
+            .with_only_links(vec![(0, 1)]);
+        let mut lossy = LossyNet::faulty(PointToPointNet::new(3, NetParams::atm_100mhz()), plan);
+        // Wrong class bit: untouched.
+        assert_eq!(lossy.fate(0, 1, 0b0001), Fate::Deliver);
+        // Wrong link: untouched.
+        assert_eq!(lossy.fate(1, 0, 0b0010), Fate::Deliver);
+        // Matching class and link: dropped.
+        assert_eq!(lossy.fate(0, 1, 0b0010), Fate::Drop);
+        assert_eq!(lossy.fault_stats().decisions, 1, "filtered fates draw nothing");
+    }
+
+    #[test]
+    fn lossy_transfer_timing_matches_inner_net() {
+        let mut bare = PointToPointNet::new(2, NetParams::atm_40mhz());
+        let mut lossy = LossyNet::faulty(
+            PointToPointNet::new(2, NetParams::atm_40mhz()),
+            FaultPlan::drop_rate(5, 0.5),
+        );
+        // Fate rolls must not perturb wire timing.
+        let _ = lossy.fate(0, 1, 1);
+        assert_eq!(bare.transfer(0, 1, 100, 0), lossy.transfer(0, 1, 100, 0));
     }
 }

@@ -40,6 +40,7 @@ pub struct Op<'a, M> {
     id: usize,
     nprocs: usize,
     block: bool,
+    block_reason: Option<String>,
 }
 
 /// The outcome of [`Engine::run`]: the machine model plus final clocks.
@@ -64,6 +65,9 @@ impl<M> RunResult<M> {
 struct Inner<M> {
     state: Mutex<State<M>>,
     cvs: Box<[Condvar]>,
+    /// Renders machine state for the watchdog's diagnostic dump
+    /// ([`Engine::with_diagnostics`]).
+    diag: Option<Box<dyn Fn(&M) -> String + Send + Sync>>,
 }
 
 struct State<M> {
@@ -89,11 +93,19 @@ struct Sched {
     /// its clock at its next scheduling point.
     stolen: Vec<Cycle>,
     status: Vec<Status>,
+    /// What each blocked processor is waiting for ([`Op::block_on`]), for
+    /// the watchdog dump.
+    block_reason: Vec<Option<String>>,
     /// Processors parked inside `sync` waiting for their turn.
     waiting_turn: Vec<bool>,
     /// A processor is currently executing a sync operation.
     op_active: bool,
     poisoned: bool,
+    /// Watchdog: abort when any processor's clock passes this.
+    budget: Option<Cycle>,
+    /// Watchdog verdict; doubles as the panic message of every processor
+    /// unwound by it.
+    fatal: Option<String>,
 }
 
 impl Sched {
@@ -103,10 +115,38 @@ impl Sched {
             clocks: vec![0; n],
             stolen: vec![0; n],
             status: vec![Status::Ready; n],
+            block_reason: vec![None; n],
             waiting_turn: vec![false; n],
             op_active: false,
             poisoned: false,
+            budget: None,
+            fatal: None,
         }
+    }
+
+    /// The per-processor half of the watchdog dump.
+    fn dump(&self) -> String {
+        let mut s = String::new();
+        for p in 0..self.clocks.len() {
+            let state = match self.status[p] {
+                Status::Ready => "ready",
+                Status::Blocked => "blocked",
+                Status::Finished => "finished",
+            };
+            s.push_str(&format!("  p{p}: {state} @ cycle {}", self.eff_clock(p)));
+            if let Some(why) = self.block_reason[p].as_deref() {
+                s.push_str(&format!(", waiting on {why}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The message every unwinding processor should panic with.
+    fn poison_msg(&self) -> String {
+        self.fatal
+            .clone()
+            .unwrap_or_else(|| "simulation poisoned by a panic on another processor".into())
     }
 
     fn eff_clock(&self, p: usize) -> Cycle {
@@ -160,6 +200,7 @@ impl<M: Send> Engine<M> {
                     sched: Sched::new(nprocs),
                 }),
                 cvs,
+                diag: None,
             }),
             nprocs,
         }
@@ -168,6 +209,26 @@ impl<M: Send> Engine<M> {
     /// Number of simulated processors.
     pub fn nprocs(&self) -> usize {
         self.nprocs
+    }
+
+    /// Arms the watchdog's cycle budget: the simulation aborts with a
+    /// diagnostic dump if any processor's clock passes `budget` (livelock
+    /// protection; deadlocks are caught unconditionally).
+    pub fn with_cycle_budget(mut self, budget: Cycle) -> Self {
+        let inner = Arc::get_mut(&mut self.inner).expect("configured before run");
+        inner.state.get_mut().sched.budget = Some(budget);
+        self
+    }
+
+    /// Installs a machine-state renderer appended to the watchdog's
+    /// per-processor dump (lock holders, barrier occupancy, …).
+    pub fn with_diagnostics(
+        mut self,
+        f: impl Fn(&M) -> String + Send + Sync + 'static,
+    ) -> Self {
+        let inner = Arc::get_mut(&mut self.inner).expect("configured before run");
+        inner.diag = Some(Box::new(f));
+        self
     }
 
     /// Runs `body` SPMD-style on every simulated processor and returns the
@@ -206,7 +267,7 @@ impl<M: Send> Engine<M> {
                             cv.notify_all();
                         }
                     } else {
-                        ctx.inner.notify_next(&st.sched);
+                        ctx.inner.notify_next(&mut st);
                     }
                 });
             }
@@ -238,26 +299,47 @@ impl<M> Inner<M> {
     /// After scheduler state changed, wake the processor (if any) whose turn
     /// it now is, provided it is parked waiting for that turn. Also detects
     /// lost-wakeup deadlocks.
-    fn notify_next(&self, sched: &Sched) {
-        match sched.min_ready() {
+    fn notify_next(&self, st: &mut State<M>) {
+        match st.sched.min_ready() {
             Some(p) => {
-                if !sched.op_active && sched.waiting_turn[p] {
+                if !st.sched.op_active && st.sched.waiting_turn[p] {
                     self.cvs[p].notify_one();
                 }
             }
             None => {
-                // No Ready processors. Fine if everyone finished; a machine
-                // bug (lost wakeup) if someone is still Blocked.
-                if !sched.poisoned
-                    && sched.status.contains(&Status::Blocked)
-                    && !sched.status.contains(&Status::Ready)
+                // No Ready processors. Fine if everyone finished; a dead
+                // cluster (lost wakeup / lost message) if someone is still
+                // Blocked: with every live processor parked and nothing in
+                // flight inside a sync op, no future event can wake anyone.
+                if !st.sched.poisoned
+                    && st.sched.status.contains(&Status::Blocked)
+                    && !st.sched.status.contains(&Status::Ready)
                 {
-                    panic!(
+                    self.watchdog_abort(
+                        st,
                         "simulation deadlock: all live processors are blocked \
-                         (machine model lost a wakeup)"
+                         and no wakeup is pending (lost wakeup or lost message)",
                     );
                 }
             }
+        }
+    }
+
+    /// Records the watchdog verdict (cause + per-processor dump + machine
+    /// diagnostics), poisons the simulation and wakes every processor.
+    /// Does not panic itself: every processor parked in [`Ctx::sync`]
+    /// unwinds with the verdict as its panic message, which reaches the
+    /// caller of [`Engine::run`] via the first-panic channel.
+    fn watchdog_abort(&self, st: &mut State<M>, cause: &str) {
+        let mut msg = format!("{cause}\n{}", st.sched.dump());
+        if let Some(diag) = &self.diag {
+            msg.push_str("machine diagnostics:\n");
+            msg.push_str(&diag(&st.machine));
+        }
+        st.sched.fatal = Some(msg);
+        st.sched.poisoned = true;
+        for cv in self.cvs.iter() {
+            cv.notify_all();
         }
     }
 }
@@ -279,12 +361,11 @@ impl<'e, M> Ctx<'e, M> {
     /// only enforced for [`sync`](Self::sync) operations.
     pub fn advance(&self, cycles: Cycle) {
         let mut st = self.inner.state.lock();
-        let sched = &mut st.sched;
-        sched.apply_stolen(self.id);
-        sched.clocks[self.id] += cycles;
+        st.sched.apply_stolen(self.id);
+        st.sched.clocks[self.id] += cycles;
         // Our clock moving forward may have made another processor the
         // minimum; hand the turn over if it is parked.
-        self.inner.notify_next(sched);
+        self.inner.notify_next(&mut st);
     }
 
     /// Current local clock (effective, including pending stolen cycles).
@@ -316,7 +397,7 @@ impl<'e, M> Ctx<'e, M> {
         while !st.sched.is_turn(self.id) {
             if st.sched.poisoned {
                 st.sched.waiting_turn[self.id] = false;
-                panic!("simulation poisoned by a panic on another processor");
+                panic!("{}", st.sched.poison_msg());
             }
             self.inner.cvs[self.id].wait(&mut st);
         }
@@ -330,29 +411,49 @@ impl<'e, M> Ctx<'e, M> {
         if let Some(trace) = st.sched.trace.as_mut() {
             trace.push((self.id, clock_now));
         }
+        if let Some(budget) = st.sched.budget {
+            if clock_now > budget {
+                // Livelock watchdog: this processor ran past the cycle
+                // budget (e.g. an endless fault-retry loop). Take the whole
+                // simulation down with a diagnostic instead of spinning.
+                st.sched.op_active = false;
+                self.inner.watchdog_abort(
+                    &mut st,
+                    &format!(
+                        "simulation watchdog: processor {} passed the cycle \
+                         budget ({clock_now} > {budget}) — livelock or runaway run",
+                        self.id
+                    ),
+                );
+                panic!("{}", st.sched.poison_msg());
+            }
+        }
 
         let mut op = Op {
             state: &mut st,
             id: self.id,
             nprocs: self.nprocs,
             block: false,
+            block_reason: None,
         };
         let result = f(&mut op);
         let block = op.block;
+        let block_reason = op.block_reason.take();
 
         st.sched.op_active = false;
         if block {
             st.sched.status[self.id] = Status::Blocked;
-            self.inner.notify_next(&st.sched);
+            st.sched.block_reason[self.id] = block_reason;
+            self.inner.notify_next(&mut st);
             while st.sched.status[self.id] == Status::Blocked {
                 if st.sched.poisoned {
-                    panic!("simulation poisoned by a panic on another processor");
+                    panic!("{}", st.sched.poison_msg());
                 }
                 self.inner.cvs[self.id].wait(&mut st);
             }
             st.sched.apply_stolen(self.id);
         } else {
-            self.inner.notify_next(&st.sched);
+            self.inner.notify_next(&mut st);
         }
         result
     }
@@ -408,6 +509,14 @@ impl<'a, M> Op<'a, M> {
         self.block = true;
     }
 
+    /// Like [`block`](Self::block), recording what the processor is waiting
+    /// for — named in the watchdog's diagnostic dump if the wakeup never
+    /// comes.
+    pub fn block_on(&mut self, reason: impl Into<String>) {
+        self.block = true;
+        self.block_reason = Some(reason.into());
+    }
+
     /// Wakes a processor blocked via [`Op::block`], setting its clock to at
     /// least `at` (e.g. the simulated time a lock grant or barrier release
     /// message arrives).
@@ -425,6 +534,7 @@ impl<'a, M> Op<'a, M> {
         sched.apply_stolen(pid);
         sched.clocks[pid] = sched.clocks[pid].max(at);
         sched.status[pid] = Status::Ready;
+        sched.block_reason[pid] = None;
         sched.waiting_turn[pid] = true; // it is parked inside `sync`
     }
 }
@@ -652,5 +762,74 @@ mod tests {
             // Processor 0 parks forever; the poison must unwind it.
             ctx.sync(|op| op.block());
         });
+    }
+
+    fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+        p.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn deadlock_dump_names_blocked_processors_and_reasons() {
+        let r = panic::catch_unwind(|| {
+            let engine = Engine::new((), 3)
+                .with_diagnostics(|_| "  widget registry: empty\n".to_string());
+            engine.run(|ctx| match ctx.id() {
+                0 => ctx.advance(42), // finishes
+                1 => {
+                    ctx.sync(|op| op.block_on("lock 7 grant"));
+                }
+                _ => {
+                    ctx.advance(9);
+                    ctx.sync(|op| op.block()); // no reason recorded
+                }
+            });
+        });
+        let msg = panic_message(r.expect_err("must abort, not hang"));
+        assert!(msg.contains("simulation deadlock"), "got: {msg}");
+        assert!(msg.contains("p0: finished @ cycle 42"), "got: {msg}");
+        assert!(
+            msg.contains("p1: blocked @ cycle 0, waiting on lock 7 grant"),
+            "got: {msg}"
+        );
+        assert!(msg.contains("p2: blocked @ cycle 9"), "got: {msg}");
+        assert!(msg.contains("widget registry: empty"), "got: {msg}");
+    }
+
+    #[test]
+    fn single_blocked_processor_aborts_immediately() {
+        let r = panic::catch_unwind(|| {
+            Engine::new((), 1).run(|ctx| ctx.sync(|op| op.block_on("a wakeup that never comes")));
+        });
+        let msg = panic_message(r.expect_err("must abort"));
+        assert!(msg.contains("a wakeup that never comes"), "got: {msg}");
+    }
+
+    #[test]
+    fn cycle_budget_catches_livelock() {
+        // A two-processor ping-pong that never blocks: only the budget can
+        // stop it.
+        let r = panic::catch_unwind(|| {
+            let engine = Engine::new((), 2).with_cycle_budget(10_000);
+            engine.run(|ctx| loop {
+                ctx.sync(|op| op.advance(100));
+            });
+        });
+        let msg = panic_message(r.expect_err("budget must fire"));
+        assert!(msg.contains("passed the cycle budget"), "got: {msg}");
+        assert!(msg.contains("10000"), "got: {msg}");
+    }
+
+    #[test]
+    fn budget_does_not_fire_below_threshold() {
+        let engine = Engine::new((), 2).with_cycle_budget(1_000_000);
+        let r = engine.run(|ctx| {
+            for _ in 0..10 {
+                ctx.sync(|op| op.advance(10));
+            }
+        });
+        assert_eq!(r.time(), 100);
     }
 }

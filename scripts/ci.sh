@@ -15,4 +15,11 @@ mkdir -p target/smoke
     --json --out target/smoke --bench-json target/smoke/BENCH_results.json \
     > target/smoke/suite.txt
 
+echo "== chaos: fault-injection smoke (bounded by a host timeout) =="
+# The watchdog aborts a hung simulation from inside, but a regression in the
+# watchdog itself would hang CI; the host-side timeout is the backstop.
+timeout "${CHAOS_TIMEOUT:-600}" \
+    ./target/release/suite --experiment chaos --quick \
+    --json --out target/smoke > target/smoke/chaos.txt
+
 echo "ci: all checks passed"
