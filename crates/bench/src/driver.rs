@@ -27,13 +27,17 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tmk_apps::{ilink, sor, tsp, water};
 use tmk_core::RetransmitPolicy;
-use tmk_machines::{run_workload, DsmProtocol, DsmTuning, Json, Outcome, Platform, RunReport};
+use tmk_machines::{
+    run_workload_traced, DsmProtocol, DsmTuning, Json, Outcome, Platform, RunReport,
+};
 use tmk_net::{FaultPlan, SoftwareOverhead};
 use tmk_parmacs::Workload;
+use tmk_trace::{Category, TraceBuf, NCAT};
 
 use crate::fmt_secs;
 
@@ -201,17 +205,29 @@ impl WorkloadSpec {
 
     /// Instantiates and runs the workload on `platform`.
     pub fn run(&self, platform: &Platform) -> Outcome<f64> {
+        self.run_traced(platform, None).0
+    }
+
+    /// [`WorkloadSpec::run`] with the cycle-attribution tracer armed (see
+    /// [`run_workload_traced`]).
+    pub fn run_traced(
+        &self,
+        platform: &Platform,
+        trace: Option<usize>,
+    ) -> (Outcome<f64>, Option<Arc<TraceBuf>>) {
         if let Some(w) = self.sor() {
-            return run_workload(platform, &w);
+            return run_workload_traced(platform, &w, trace);
         }
         if let Some(w) = self.ilink() {
-            return run_workload(platform, &w);
+            return run_workload_traced(platform, &w, trace);
         }
         if let Some(w) = self.water() {
-            return run_workload(platform, &w);
+            return run_workload_traced(platform, &w, trace);
         }
         match self {
-            WorkloadSpec::Tsp { .. } => run_workload(platform, &self.tsp_instance()),
+            WorkloadSpec::Tsp { .. } => {
+                run_workload_traced(platform, &self.tsp_instance(), trace)
+            }
             WorkloadSpec::PanicProbe => panic!("deliberate panic probe"),
             _ => unreachable!("covered above"),
         }
@@ -228,6 +244,10 @@ pub struct JobRequest {
     /// Repetition index. Requests with equal keys are memoized into one
     /// run; a deliberate re-run (the determinism ablation) bumps this.
     pub instance: u32,
+    /// Arm the cycle-attribution tracer for this run. Traced runs are
+    /// cycle-identical to untraced ones but carry a [`TraceData`], so they
+    /// memoize under a distinct key.
+    pub traced: bool,
 }
 
 impl JobRequest {
@@ -237,13 +257,23 @@ impl JobRequest {
             platform,
             workload,
             instance: 0,
+            traced: false,
         }
+    }
+
+    /// This request with the tracer armed.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
     }
 
     /// The memoization key: workload id, platform key, and (when nonzero)
     /// the instance.
     pub fn key(&self) -> String {
-        let base = format!("{}|{}", self.workload.id(), self.platform.key());
+        let mut base = format!("{}|{}", self.workload.id(), self.platform.key());
+        if self.traced {
+            base.push_str("+tr");
+        }
         if self.instance == 0 {
             base
         } else {
@@ -259,6 +289,20 @@ pub struct RunData {
     pub report: RunReport,
     /// Per-processor checksums.
     pub checksums: Vec<f64>,
+    /// Tracer output, when the request was [`JobRequest::traced`].
+    pub trace: Option<TraceData>,
+}
+
+/// What the cycle-attribution tracer recorded for one run.
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    /// Per-processor cycle ledgers, one `[u64; NCAT]` row per processor in
+    /// [`Category::ALL`] order; each row sums exactly to that processor's
+    /// finishing clock.
+    pub breakdown: Vec<[u64; NCAT]>,
+    /// The Chrome trace-event JSON document, when event recording (not
+    /// just the ledger) was on.
+    pub chrome: Option<String>,
 }
 
 /// One executed (or failed) job.
@@ -319,10 +363,13 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn execute(req: &JobRequest) -> JobResult {
+fn execute(req: &JobRequest, ring_cap: usize) -> JobResult {
     let (workload, params) = req.workload.describe();
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| req.workload.run(&req.platform)));
+    let trace = req.traced.then_some(ring_cap);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        req.workload.run_traced(&req.platform, trace)
+    }));
     let host_ms = start.elapsed().as_secs_f64() * 1e3;
     JobResult {
         key: req.key(),
@@ -332,9 +379,13 @@ fn execute(req: &JobRequest) -> JobResult {
         params,
         procs: req.platform.procs(),
         data: match outcome {
-            Ok(out) => Ok(RunData {
+            Ok((out, buf)) => Ok(RunData {
                 report: out.report,
                 checksums: out.results,
+                trace: buf.map(|b| TraceData {
+                    breakdown: b.breakdown(),
+                    chrome: (ring_cap > 0).then(|| b.chrome_trace()),
+                }),
             }),
             Err(payload) => Err(panic_text(payload.as_ref())),
         },
@@ -347,6 +398,13 @@ fn execute(req: &JobRequest) -> JobResult {
 /// results are identical for any `jobs` value: each unique simulation
 /// executes exactly once and is itself deterministic.
 pub fn run_jobs(requests: &[JobRequest], jobs: usize) -> MemoTable {
+    run_jobs_traced(requests, jobs, 0)
+}
+
+/// [`run_jobs`] with a per-processor event-ring capacity for traced
+/// requests: 0 keeps only the cycle ledger, a nonzero capacity also
+/// records Chrome-trace events.
+pub fn run_jobs_traced(requests: &[JobRequest], jobs: usize, ring_cap: usize) -> MemoTable {
     let mut unique: Vec<JobRequest> = Vec::new();
     let mut seen: HashMap<String, ()> = HashMap::new();
     let mut hits = 0;
@@ -373,7 +431,7 @@ pub fn run_jobs(requests: &[JobRequest], jobs: usize) -> MemoTable {
                 }
                 // `execute` catches the simulation's panics; a send only
                 // fails if the receiver is gone, which it never is here.
-                let _ = tx.send(execute(&unique[i]));
+                let _ = tx.send(execute(&unique[i], ring_cap));
             });
         }
     })
@@ -1337,6 +1395,27 @@ fn chaos(tier: Tier) -> Experiment {
             },
         }
     };
+    // The adaptive policy estimates the RTO from observed round-trip
+    // times (RFC 6298 style). Its floor mirrors the fixed policy's
+    // timeout — like TCP's famously conservative 1-second minimum — so
+    // the estimator can only *lengthen* the timeout when queueing delay
+    // builds up behind a retransmission, which is exactly the situation
+    // that makes the fixed policy fire spuriously.
+    let floor = RetransmitPolicy::default().timeout;
+    let ceiling = 32 * floor;
+    let adaptive = move |drop: f64| -> Platform {
+        Platform::AsCluster {
+            procs,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                faults: Some(FaultPlan::drop_rate(seed, drop)),
+                reliability: Some(RetransmitPolicy::default().with_adaptive(floor, ceiling)),
+                watchdog_budget: Some(budget),
+                ..Default::default()
+            },
+        }
+    };
 
     let workloads: Vec<(&'static str, &'static str, WorkloadSpec)> = if quick {
         vec![
@@ -1356,6 +1435,9 @@ fn chaos(tier: Tier) -> Experiment {
         let mut requests = vec![req(Platform::as_sim(procs), w.clone())];
         for &r in &rates {
             requests.push(req(platform(r), w.clone()));
+            if r > 0.0 {
+                requests.push(req(adaptive(r), w.clone()));
+            }
         }
         let render: Render = Box::new(move |ctx| {
             let base = ctx.data(&req(Platform::as_sim(procs), w.clone()))?;
@@ -1439,6 +1521,56 @@ fn chaos(tier: Tier) -> Experiment {
                     top.cycles, base.report.cycles
                 ));
             }
+            writeln!(
+                out,
+                "  adaptive RTO (RFC 6298 estimator, floor {floor} / ceiling {ceiling} cycles):"
+            )
+            .unwrap();
+            let (mut fixed_sp, mut adapt_sp) = (0u64, 0u64);
+            for &rate in &rates {
+                if rate == 0.0 {
+                    continue;
+                }
+                let f = ctx.report(&req(platform(rate), w.clone()))?;
+                let a = ctx.data(&req(adaptive(rate), w.clone()))?;
+                if a.checksums != base.checksums {
+                    return Err(format!(
+                        "adaptive RTO, drop rate {rate}: application output diverged \
+                         from the fault-free run"
+                    ));
+                }
+                let ar = &a.report;
+                if ar.net_faults.drops > 0 && ar.reliability.retransmissions == 0 {
+                    return Err(format!(
+                        "adaptive RTO, drop rate {rate}: messages were dropped but \
+                         never retransmitted"
+                    ));
+                }
+                fixed_sp += f.reliability.spurious;
+                adapt_sp += ar.reliability.spurious;
+                writeln!(
+                    out,
+                    "  drop {rate:>6}: {:>9} time  retrans={:<5} spurious={:<4} \
+                     (fixed policy spurious={})",
+                    fmt_secs(ar.seconds()),
+                    ar.reliability.retransmissions,
+                    ar.reliability.spurious,
+                    f.reliability.spurious,
+                )
+                .unwrap();
+            }
+            if adapt_sp > fixed_sp {
+                return Err(format!(
+                    "the RTT estimator caused more spurious retransmissions than \
+                     the fixed timeout ({adapt_sp} vs {fixed_sp})"
+                ));
+            }
+            writeln!(
+                out,
+                "  spurious retransmissions across all rates: fixed {fixed_sp} -> \
+                 adaptive {adapt_sp}"
+            )
+            .unwrap();
             Ok(out)
         });
         sections.push(Section::new(id, requests, render));
@@ -1451,6 +1583,139 @@ fn chaos(tier: Tier) -> Experiment {
             "Unreliable-network sweep on the AS design: seeded drops with the \
              TreadMarks retransmission layer armed.\nCorrect runs keep application \
              results bit-identical to the fault-free baseline at every rate."
+                .to_string(),
+        ),
+        sections,
+    }
+}
+
+fn breakdown(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    let platforms: Vec<(&'static str, Platform)> = if quick {
+        vec![
+            ("DEC", Platform::Dec),
+            ("SGI-2", Platform::Sgi { procs: 2 }),
+            ("AS-4", Platform::as_sim(4)),
+            ("HS-2x2", Platform::hs_sim(2, 2)),
+        ]
+    } else {
+        vec![
+            ("DEC", Platform::Dec),
+            ("SGI-8", Platform::Sgi { procs: 8 }),
+            ("AS-8", Platform::as_sim(8)),
+            ("AS-32", Platform::as_sim(32)),
+            ("AH-32", Platform::Ah { procs: 32 }),
+            ("HS-4x8", Platform::hs_sim(4, 8)),
+        ]
+    };
+    let workloads: Vec<(&'static str, &'static str, WorkloadSpec)> = if quick {
+        vec![
+            ("sor", "SOR tiny", WorkloadSpec::SorTiny),
+            ("tsp", "TSP 10", WorkloadSpec::Tsp { cities: 10 }),
+        ]
+    } else {
+        vec![
+            ("sor", "SOR 1024x1024", WorkloadSpec::SorSmall),
+            ("tsp", "TSP 18", WorkloadSpec::Tsp { cities: 18 }),
+            (
+                "mwater",
+                "M-Water 288",
+                WorkloadSpec::Water {
+                    modified: true,
+                    tiny: false,
+                },
+            ),
+        ]
+    };
+    let sections = workloads
+        .into_iter()
+        .map(|(id, label, w)| {
+            let platforms = platforms.clone();
+            let requests: Vec<JobRequest> = platforms
+                .iter()
+                .map(|(_, p)| req(p.clone(), w.clone()).traced())
+                .collect();
+            let render: Render = Box::new(move |ctx| {
+                let mut out = String::new();
+                writeln!(out).unwrap();
+                writeln!(
+                    out,
+                    "{label}: where the cycles go (percent of aggregate processor cycles)"
+                )
+                .unwrap();
+                write!(out, "{:<8}", "platform").unwrap();
+                for cat in Category::ALL {
+                    write!(out, " {:>9}", cat.name()).unwrap();
+                }
+                writeln!(out, " {:>15}", "total cycles").unwrap();
+                let mut shares: HashMap<&'static str, [f64; NCAT]> = HashMap::new();
+                for (name, p) in &platforms {
+                    let d = ctx.data(&req(p.clone(), w.clone()).traced())?;
+                    let tr = d
+                        .trace
+                        .as_ref()
+                        .ok_or_else(|| format!("{name}: run carried no trace data"))?;
+                    // The invariant that makes the table trustworthy:
+                    // every processor's six counters sum exactly to its
+                    // finishing clock — no cycle is counted twice or
+                    // dropped.
+                    for (cpu, row) in tr.breakdown.iter().enumerate() {
+                        let sum: u64 = row.iter().sum();
+                        let clock = d.report.proc_cycles[cpu];
+                        if sum != clock {
+                            return Err(format!(
+                                "{name} cpu{cpu}: category ledger sums to {sum} \
+                                 but the clock reads {clock}"
+                            ));
+                        }
+                    }
+                    let mut totals = [0u64; NCAT];
+                    for row in &tr.breakdown {
+                        for (t, v) in totals.iter_mut().zip(row) {
+                            *t += *v;
+                        }
+                    }
+                    let all: u64 = totals.iter().sum();
+                    let mut share = [0.0f64; NCAT];
+                    write!(out, "{name:<8}").unwrap();
+                    for (i, v) in totals.iter().enumerate() {
+                        share[i] = *v as f64 / all as f64;
+                        write!(out, " {:>8.1}%", 100.0 * share[i]).unwrap();
+                    }
+                    writeln!(out, " {all:>15}").unwrap();
+                    shares.insert(name, share);
+                }
+                // The paper's AS story: SOR scales poorly from 8 to 32
+                // processors because protocol overhead and the idle time
+                // it induces grow, not because the compute shrinks. The
+                // decomposition must show that shift.
+                if !quick && id == "sor" {
+                    let over = |s: &[f64; NCAT]| 1.0 - s[Category::Compute.index()];
+                    let as8 = over(&shares["AS-8"]);
+                    let as32 = over(&shares["AS-32"]);
+                    if as32 <= as8 {
+                        return Err(format!(
+                            "AS-32 SOR should lose a larger cycle share to \
+                             protocol+idle+network than AS-8 ({:.1}% vs {:.1}%)",
+                            100.0 * as32,
+                            100.0 * as8
+                        ));
+                    }
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+    Experiment {
+        id: "breakdown",
+        title: "execution-time decomposition from the cycle-attribution tracer",
+        default: true,
+        header: Some(
+            "Where does the time go? Each run is traced with the cycle \
+             attributor; every\nprocessor's compute / memory-stall / protocol / \
+             sync-idle / network / stolen\ncounters sum exactly to its finishing \
+             clock.\n"
                 .to_string(),
         ),
         sections,
@@ -1607,6 +1872,7 @@ pub fn registry(tier: Tier) -> Vec<Experiment> {
         fig14_16(tier),
         ablations(tier),
         chaos(tier),
+        breakdown(tier),
         calibrate(tier),
     ]
 }
@@ -1628,6 +1894,9 @@ pub struct Options {
     pub filters: Vec<String>,
     /// Substring filters over section ids only (legacy `--fig`/`--app`).
     pub section_filters: Vec<String>,
+    /// Directory for Chrome trace-event JSON files; also switches traced
+    /// runs from ledger-only to full event recording.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for Tier {
@@ -1812,7 +2081,32 @@ fn run_json(r: &JobResult) -> Json {
     match &r.data {
         Ok(d) => {
             j = j.set("checksum", d.checksums.iter().sum::<f64>());
-            j.set("report", d.report.to_json())
+            j = j.set("report", d.report.to_json());
+            if let Some(tr) = &d.trace {
+                let mut totals = [0u64; NCAT];
+                for row in &tr.breakdown {
+                    for (t, v) in totals.iter_mut().zip(row) {
+                        *t += *v;
+                    }
+                }
+                let mut b = Json::obj();
+                for (i, cat) in Category::ALL.iter().enumerate() {
+                    b = b.set(cat.name(), totals[i]);
+                }
+                b = b.set(
+                    "per_proc",
+                    Json::Arr(
+                        tr.breakdown
+                            .iter()
+                            .map(|row| {
+                                Json::Arr(row.iter().map(|&v| Json::UInt(v)).collect())
+                            })
+                            .collect(),
+                    ),
+                );
+                j = j.set("breakdown", b);
+            }
+            j
         }
         Err(e) => j.set("error", e.as_str()),
     }
@@ -1874,7 +2168,10 @@ pub fn run_suite(opts: &Options) -> Result<SuiteResult, String> {
         .collect();
     let total_requests = requests.len();
     let jobs = resolve_jobs(opts.jobs);
-    let memo = run_jobs(&requests, jobs);
+    // Event rings are only worth their memory when someone will read the
+    // events; without --trace the ledger alone is kept.
+    let ring_cap = if opts.trace_dir.is_some() { 1 << 16 } else { 0 };
+    let memo = run_jobs_traced(&requests, jobs, ring_cap);
 
     let ctx = Ctx { memo: &memo };
     let mut experiments = Vec::new();
@@ -1950,6 +2247,7 @@ pub fn shim_main(experiment: &'static str) -> ! {
         experiments: vec![experiment.to_string()],
         filters: Vec::new(),
         section_filters,
+        trace_dir: None,
     };
     match run_suite(&opts) {
         Ok(suite) => {

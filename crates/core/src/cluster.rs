@@ -27,6 +27,12 @@ pub struct Traffic {
     pub consistency_bytes: u64,
     /// Bytes of message headers.
     pub header_bytes: u64,
+    /// Raw message count taken at [`record`](Traffic::record) time — the
+    /// accounting cross-check: the per-class counters must sum to this.
+    pub msgs_recorded: u64,
+    /// Raw byte count taken at record time — the per-kind byte counters
+    /// must sum to this.
+    pub bytes_recorded: u64,
 }
 
 impl Traffic {
@@ -42,6 +48,29 @@ impl Traffic {
         self.miss_bytes += body.miss as u64;
         self.consistency_bytes += body.consistency as u64;
         self.header_bytes += header_bytes as u64;
+        self.msgs_recorded += 1;
+        self.bytes_recorded += (body.miss + body.consistency + header_bytes) as u64;
+    }
+
+    /// Verifies the per-class split reconciles exactly with the raw counts
+    /// taken at record time; every platform's run checks this before
+    /// reporting.
+    pub fn check(&self) -> Result<(), String> {
+        if self.total_msgs() != self.msgs_recorded {
+            return Err(format!(
+                "message accounting drift: per-class sum {} != {} recorded",
+                self.total_msgs(),
+                self.msgs_recorded
+            ));
+        }
+        if self.total_bytes() != self.bytes_recorded {
+            return Err(format!(
+                "byte accounting drift: per-kind sum {} != {} recorded",
+                self.total_bytes(),
+                self.bytes_recorded
+            ));
+        }
+        Ok(())
     }
 
     /// All messages.
@@ -68,6 +97,8 @@ impl Traffic {
         self.miss_bytes += o.miss_bytes;
         self.consistency_bytes += o.consistency_bytes;
         self.header_bytes += o.header_bytes;
+        self.msgs_recorded += o.msgs_recorded;
+        self.bytes_recorded += o.bytes_recorded;
     }
 }
 

@@ -78,7 +78,9 @@ pub use interval::{IntervalMsg, IntervalStore};
 pub use msg::{Action, BodyBytes, Envelope, Msg, MsgClass};
 pub use ivy::IvyNode;
 pub use node::{FaultStart, Handled, Node, StartAcquire};
-pub use reliable::{ChaosPlan, ChaosRouter, PacketId, RelStats, Reliability, RetransmitPolicy};
+pub use reliable::{
+    AdaptiveRto, ChaosPlan, ChaosRouter, PacketId, RelStats, Reliability, RetransmitPolicy,
+};
 pub use stats::NodeStats;
 pub use vt::VTime;
 

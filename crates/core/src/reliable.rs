@@ -42,7 +42,8 @@ pub type PacketId = (NodeId, NodeId, u64);
 /// Timeout / retransmission parameters (TreadMarks' UDP knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetransmitPolicy {
-    /// Cycles before the first retransmission of an unacked packet.
+    /// Cycles before the first retransmission of an unacked packet (also
+    /// the adaptive policy's pre-first-sample RTO).
     pub timeout: u64,
     /// Multiplier applied to the timeout after each retransmission
     /// (exponential backoff).
@@ -50,6 +51,24 @@ pub struct RetransmitPolicy {
     /// Retransmissions allowed before the sender gives the peer up for
     /// dead and aborts.
     pub max_retries: u32,
+    /// RFC 6298-style RTT estimation: when set, the RTO tracks the
+    /// measured per-link round trip instead of the fixed `timeout` (see
+    /// [`Reliability::rto`]).
+    pub adaptive: Option<AdaptiveRto>,
+}
+
+/// Bounds for the RTT-estimated RTO (see [`RetransmitPolicy::adaptive`]).
+///
+/// The floor must clear the worst *loss-free* queueing round trip, or the
+/// estimator itself causes spurious retransmissions on healthy traffic;
+/// the ceiling bounds how long a genuine loss can stall the link (the
+/// fixed policy's 1M-cycle RTO is the natural ceiling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveRto {
+    /// Minimum RTO in cycles (RFC 6298's "RTO should be rounded up").
+    pub floor: u64,
+    /// Maximum RTO in cycles, applied after backoff.
+    pub ceiling: u64,
 }
 
 impl Default for RetransmitPolicy {
@@ -64,6 +83,7 @@ impl Default for RetransmitPolicy {
             timeout: 1_000_000,
             backoff: 2,
             max_retries: 16,
+            adaptive: None,
         }
     }
 }
@@ -74,6 +94,13 @@ impl RetransmitPolicy {
     pub fn timeout_for(&self, attempt: u32) -> u64 {
         self.timeout
             .saturating_mul((self.backoff.max(1) as u64).saturating_pow(attempt.min(32)))
+    }
+
+    /// Enables RFC 6298-style RTT estimation with the given RTO bounds.
+    pub fn with_adaptive(mut self, floor: u64, ceiling: u64) -> Self {
+        assert!(floor > 0 && floor <= ceiling, "floor must be in (0, ceiling]");
+        self.adaptive = Some(AdaptiveRto { floor, ceiling });
+        self
     }
 }
 
@@ -90,6 +117,9 @@ pub struct RelStats {
     pub dup_suppressed: u64,
     /// Acks recorded (piggybacked on the reply path).
     pub acks: u64,
+    /// Spurious retransmissions: the timer fired while the packet was
+    /// still in flight (too-short RTO), so both copies arrived.
+    pub spurious: u64,
 }
 
 impl RelStats {
@@ -100,6 +130,7 @@ impl RelStats {
         self.timeouts += other.timeouts;
         self.dup_suppressed += other.dup_suppressed;
         self.acks += other.acks;
+        self.spurious += other.spurious;
     }
 }
 
@@ -125,6 +156,22 @@ impl Seen {
     }
 }
 
+/// One unacked packet's sender-side state.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    /// Retransmissions performed so far.
+    retries: u32,
+    /// Departure cycle of the original send (0 in clockless routers).
+    sent_at: u64,
+}
+
+/// Integer RFC 6298 estimator state for one directed link.
+#[derive(Debug, Clone, Copy)]
+struct RttEst {
+    srtt: u64,
+    rttvar: u64,
+}
+
 /// Sequence numbers, duplicate suppression and in-flight tracking for a
 /// whole cluster's traffic (the routers are centralized, so one instance
 /// covers every (src, dst) pair).
@@ -132,8 +179,11 @@ impl Seen {
 pub struct Reliability {
     next_seq: HashMap<(NodeId, NodeId), u64>,
     seen: HashMap<(NodeId, NodeId), Seen>,
-    /// Unacked packets → retransmissions performed so far.
-    in_flight: HashMap<PacketId, u32>,
+    in_flight: HashMap<PacketId, Flight>,
+    /// Per-directed-link RTT estimators, fed by [`acked_at`].
+    ///
+    /// [`acked_at`]: Reliability::acked_at
+    rtt: HashMap<(NodeId, NodeId), RttEst>,
     stats: RelStats,
 }
 
@@ -151,22 +201,94 @@ impl Reliability {
     /// Panics on a loopback envelope — local delivery bypasses the network
     /// and needs no reliability.
     pub fn register(&mut self, env: &Envelope) -> PacketId {
+        self.register_at(env, 0)
+    }
+
+    /// [`register`](Self::register) with a departure time, so a later
+    /// [`acked_at`](Self::acked_at) can feed the RTT estimator.
+    pub fn register_at(&mut self, env: &Envelope, depart: u64) -> PacketId {
         assert_ne!(env.from, env.to, "loopback envelopes are not registered");
         let seq = self.next_seq.entry((env.from, env.to)).or_insert(0);
         *seq += 1;
         let pid = (env.from, env.to, *seq);
-        self.in_flight.insert(pid, 0);
+        self.in_flight.insert(
+            pid,
+            Flight {
+                retries: 0,
+                sent_at: depart,
+            },
+        );
         self.stats.data_msgs += 1;
         pid
     }
 
     /// Records the (piggybacked) ack for `pid`, removing it from the
     /// in-flight set. Idempotent: late acks for already-acked packets are
-    /// ignored.
+    /// ignored. Takes no RTT sample (clockless routers).
     pub fn acked(&mut self, pid: PacketId) {
         if self.in_flight.remove(&pid).is_some() {
             self.stats.acks += 1;
         }
+    }
+
+    /// [`acked`](Self::acked) with the delivery time: feeds the RFC 6298
+    /// estimator for the packet's link. Per Karn's algorithm the sample is
+    /// discarded when the packet was ever retransmitted (the ack would be
+    /// ambiguous between copies).
+    pub fn acked_at(&mut self, pid: PacketId, now: u64) {
+        let Some(flight) = self.in_flight.remove(&pid) else {
+            return;
+        };
+        self.stats.acks += 1;
+        if flight.retries == 0 && now > flight.sent_at {
+            let r = now - flight.sent_at;
+            let link = (pid.0, pid.1);
+            match self.rtt.get_mut(&link) {
+                None => {
+                    // First sample: SRTT = R, RTTVAR = R/2.
+                    self.rtt.insert(
+                        link,
+                        RttEst {
+                            srtt: r,
+                            rttvar: r / 2,
+                        },
+                    );
+                }
+                Some(est) => {
+                    // Integer forms of RTTVAR = 3/4·RTTVAR + 1/4·|SRTT−R|
+                    // and SRTT = 7/8·SRTT + 1/8·R.
+                    est.rttvar = (3 * est.rttvar + est.srtt.abs_diff(r)) / 4;
+                    est.srtt = (7 * est.srtt + r) / 8;
+                }
+            }
+        }
+    }
+
+    /// The retransmit timeout to arm for a packet on `src → dst` after
+    /// `attempt` retransmissions. With no adaptive config this is exactly
+    /// [`RetransmitPolicy::timeout_for`] (fixed-policy runs stay
+    /// cycle-identical to the pre-adaptive code); with one, the RFC 6298
+    /// estimate `SRTT + 4·RTTVAR` (the fixed `timeout` until the first
+    /// sample), clamped to the configured bounds, backed off per attempt
+    /// and capped at the ceiling.
+    pub fn rto(&self, policy: &RetransmitPolicy, src: NodeId, dst: NodeId, attempt: u32) -> u64 {
+        let Some(adaptive) = policy.adaptive else {
+            return policy.timeout_for(attempt);
+        };
+        let base = match self.rtt.get(&(src, dst)) {
+            Some(est) => est.srtt.saturating_add(4 * est.rttvar.max(1)),
+            None => policy.timeout,
+        };
+        let clamped = base.clamp(adaptive.floor, adaptive.ceiling);
+        clamped
+            .saturating_mul((policy.backoff.max(1) as u64).saturating_pow(attempt.min(32)))
+            .min(adaptive.ceiling)
+    }
+
+    /// Counts a spurious retransmission (the router observed the timer
+    /// firing for a packet whose original copy was still in flight).
+    pub fn note_spurious(&mut self) {
+        self.stats.spurious += 1;
     }
 
     /// Whether `pid` is still awaiting its ack.
@@ -193,14 +315,14 @@ impl Reliability {
     /// Panics if `pid` is not in flight (the router must cancel timers for
     /// acked packets, or check [`is_in_flight`](Self::is_in_flight) first).
     pub fn bump_retry(&mut self, pid: PacketId) -> u32 {
-        let retries = self
+        let flight = self
             .in_flight
             .get_mut(&pid)
             .expect("retransmit timer fired for a packet not in flight");
-        *retries += 1;
+        flight.retries += 1;
         self.stats.timeouts += 1;
         self.stats.retransmissions += 1;
-        *retries
+        flight.retries
     }
 
     /// Number of packets awaiting acks.
@@ -429,6 +551,7 @@ mod tests {
             timeout: 10,
             backoff: 2,
             max_retries: 4,
+            adaptive: None,
         };
         assert_eq!(p.timeout_for(0), 10);
         assert_eq!(p.timeout_for(1), 20);
@@ -437,8 +560,55 @@ mod tests {
             timeout: u64::MAX / 2,
             backoff: 8,
             max_retries: 64,
+            adaptive: None,
         };
         assert_eq!(huge.timeout_for(60), u64::MAX, "saturates, never wraps");
+    }
+
+    #[test]
+    fn fixed_policy_rto_matches_timeout_for_exactly() {
+        let rel = Reliability::new();
+        let p = RetransmitPolicy::default();
+        for attempt in 0..8 {
+            assert_eq!(rel.rto(&p, 0, 1, attempt), p.timeout_for(attempt));
+        }
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_samples_and_respects_bounds() {
+        let mut rel = Reliability::new();
+        let p = RetransmitPolicy::default().with_adaptive(1_000, 1_000_000);
+        // No sample yet: conservative fixed timeout, clamped to ceiling.
+        assert_eq!(rel.rto(&p, 0, 1, 0), 1_000_000);
+        // One 8000-cycle sample: SRTT=8000, RTTVAR=4000 → RTO=24000.
+        let pid = rel.register_at(&env(0, 1), 100);
+        rel.acked_at(pid, 8_100);
+        assert_eq!(rel.rto(&p, 0, 1, 0), 8_000 + 4 * 4_000);
+        // Backoff doubles per attempt but never passes the ceiling.
+        assert_eq!(rel.rto(&p, 0, 1, 1), 48_000);
+        assert_eq!(rel.rto(&p, 0, 1, 20), 1_000_000);
+        // A second identical sample shrinks the variance term.
+        let pid = rel.register_at(&env(0, 1), 10_000);
+        rel.acked_at(pid, 18_000);
+        assert!(rel.rto(&p, 0, 1, 0) < 24_000);
+        // Other links are unaffected (per-link estimators).
+        assert_eq!(rel.rto(&p, 1, 0, 0), 1_000_000);
+        // The floor binds when the estimate collapses.
+        let tight = RetransmitPolicy::default().with_adaptive(500_000, 1_000_000);
+        assert_eq!(rel.rto(&tight, 0, 1, 0), 500_000);
+    }
+
+    #[test]
+    fn karn_discards_samples_from_retransmitted_packets() {
+        let mut rel = Reliability::new();
+        let p = RetransmitPolicy::default().with_adaptive(1_000, 1_000_000);
+        let pid = rel.register_at(&env(0, 1), 0);
+        rel.bump_retry(pid);
+        rel.acked_at(pid, 5_000); // ambiguous ack: no sample
+        assert_eq!(rel.rto(&p, 0, 1, 0), 1_000_000, "estimator still cold");
+        assert_eq!(rel.stats().acks, 1);
+        rel.note_spurious();
+        assert_eq!(rel.stats().spurious, 1);
     }
 
     #[test]

@@ -13,13 +13,14 @@
 use std::collections::{BinaryHeap, HashMap};
 
 use tmk_core::{
-    Action, Config, Envelope, IvyNode, Node, NodeId, PacketId, Reliability, RetransmitPolicy,
-    Traffic,
+    Action, Config, Envelope, IvyNode, Msg, Node, NodeId, PacketId, Reliability,
+    RetransmitPolicy, Traffic,
 };
 use tmk_mem::{CacheParams, DirectCache, Probe};
 use tmk_net::{Fate, LossyNet, NetParams, PointToPointNet, SoftwareOverhead};
 use tmk_parmacs::{InitWriter, System};
 use tmk_sim::{Ctx, Cycle, Op};
+use tmk_trace::{Category, Event, EventKind, Sink, Track};
 
 /// Parameters of a software-DSM cluster.
 #[derive(Debug, Clone)]
@@ -168,6 +169,8 @@ pub struct DsmMachine {
     pub(crate) policy: RetransmitPolicy,
     /// Per-processor cycle ceiling forwarded to the engine's watchdog.
     pub(crate) watchdog_budget: Option<Cycle>,
+    /// Trace sink for protocol instants (node tracks); disabled by default.
+    pub(crate) sink: Sink,
 }
 
 impl DsmMachine {
@@ -207,7 +210,15 @@ impl DsmMachine {
             rel: tuning.reliability.map(|_| Reliability::new()),
             policy: tuning.reliability.unwrap_or_default(),
             watchdog_budget: tuning.watchdog_budget,
+            sink: Sink::default(),
         }
+    }
+
+    /// Attaches a trace sink: protocol actions appear on node tracks, wire
+    /// transfers on link tracks. Tracing never alters timing.
+    pub fn set_tracer(&mut self, sink: Sink) {
+        self.net.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     fn page_size(&self) -> usize {
@@ -292,6 +303,10 @@ pub(crate) fn route_timed(
     let mut events: HashMap<u64, Ev> = HashMap::new();
     let mut seq: u64 = 0;
     let mut avail: HashMap<NodeId, Cycle> = HashMap::new();
+    // Copies of each tracked packet currently scheduled for delivery: a
+    // retransmit timer that fires while one is pending is *spurious* (the
+    // RTO undershot the queueing round trip, not a loss).
+    let mut pending: HashMap<PacketId, usize> = HashMap::new();
     avail.insert(me, t0);
     let mut out = Routed {
         actions: Vec::new(),
@@ -308,6 +323,7 @@ pub(crate) fn route_timed(
                     heap: &mut BinaryHeap<Reverse<(Cycle, u64)>>,
                     events: &mut HashMap<u64, Ev>,
                     seq: &mut u64,
+                    pending: &mut HashMap<PacketId, usize>,
                     charges: &mut Vec<(NodeId, Cycle)>,
                     env: Envelope,
                     retrans_of: Option<(PacketId, u32)>| {
@@ -329,12 +345,31 @@ pub(crate) fn route_timed(
         let depart = t_out + send_c;
         let wire = m.header_bytes + body;
         m.traffic.record(&env, m.header_bytes);
+        m.sink.emit(Event {
+            track: Track::Node(from as u32),
+            at: depart,
+            dur: 0,
+            kind: EventKind::MsgSend {
+                to: to as u32,
+                class: env.msg.class().bit(),
+                bytes: wire as u64,
+            },
+        });
+        if let Msg::LockForward { lock, .. } = &env.msg {
+            m.sink.emit(Event {
+                track: Track::Node(from as u32),
+                at: depart,
+                dur: 0,
+                kind: EventKind::LockForward { lock: *lock as u64 },
+            });
+        }
         let (pid, attempt) = match retrans_of {
             Some((pid, attempt)) => (Some(pid), attempt),
-            None => (m.rel.as_mut().map(|r| r.register(&env)), 0),
+            None => (m.rel.as_mut().map(|r| r.register_at(&env, depart)), 0),
         };
         if let Some(pid) = pid {
-            let expire = depart + m.policy.timeout_for(attempt);
+            let rel = m.rel.as_ref().expect("tracked packet implies reliability");
+            let expire = depart + rel.rto(&m.policy, from, to, attempt);
             heap.push(Reverse((expire, *seq)));
             events.insert(*seq, Ev::Retry(env.clone(), pid));
             *seq += 1;
@@ -360,6 +395,9 @@ pub(crate) fn route_timed(
             heap.push(Reverse((arrive + recv_c, *seq)));
             events.insert(*seq, Ev::Deliver(env.clone(), pid));
             *seq += 1;
+            if let Some(pid) = pid {
+                *pending.entry(pid).or_insert(0) += 1;
+            }
         }
     };
 
@@ -370,6 +408,7 @@ pub(crate) fn route_timed(
             &mut heap,
             &mut events,
             &mut seq,
+            &mut pending,
             &mut out.charges,
             env,
             None,
@@ -382,7 +421,14 @@ pub(crate) fn route_timed(
                 if !m.rel.as_ref().is_some_and(|r| r.is_in_flight(pid)) {
                     continue; // acked in the meantime: stale timer
                 }
-                let retries = m.rel.as_mut().expect("tracked packet").bump_retry(pid);
+                let rel = m.rel.as_mut().expect("tracked packet");
+                if pending.get(&pid).copied().unwrap_or(0) > 0 {
+                    // A copy is still queued for delivery: the RTO fired
+                    // early (queueing, not loss) and this re-send is
+                    // spurious — the receiver will suppress the duplicate.
+                    rel.note_spurious();
+                }
+                let retries = rel.bump_retry(pid);
                 assert!(
                     retries <= m.policy.max_retries,
                     "reliability gave up: {} -> {} seq {} still unacked after {} retransmissions",
@@ -391,6 +437,12 @@ pub(crate) fn route_timed(
                     pid.2,
                     m.policy.max_retries,
                 );
+                m.sink.emit(Event {
+                    track: Track::Node(env.from as u32),
+                    at: t,
+                    dur: 0,
+                    kind: EventKind::Retransmit { attempt: retries },
+                });
                 // The sender is free no earlier than the timer expiry.
                 let a = avail.entry(env.from).or_insert(t0);
                 *a = (*a).max(t);
@@ -400,6 +452,7 @@ pub(crate) fn route_timed(
                     &mut heap,
                     &mut events,
                     &mut seq,
+                    &mut pending,
                     &mut out.charges,
                     env,
                     Some((pid, retries)),
@@ -407,8 +460,12 @@ pub(crate) fn route_timed(
                 continue;
             }
             Ev::Deliver(env, pid) => {
-                if let (Some(pid), Some(rel)) = (pid, m.rel.as_mut()) {
-                    rel.acked(pid); // delivery doubles as the piggybacked ack
+                if let Some(pid) = pid {
+                    if let Some(c) = pending.get_mut(&pid) {
+                        *c -= 1;
+                    }
+                    let rel = m.rel.as_mut().expect("tracked packet");
+                    rel.acked_at(pid, t); // delivery doubles as the piggybacked ack
                     if !rel.accept(pid) {
                         continue; // duplicate suppressed before the handler
                     }
@@ -418,11 +475,40 @@ pub(crate) fn route_timed(
         };
         let to = env.to;
         let begin = t.max(avail.get(&to).copied().unwrap_or(0));
+        let arrived = (m.sink.enabled() && env.from != to).then(|| EventKind::MsgArrive {
+            from: env.from as u32,
+            class: env.msg.class().bit(),
+            bytes: (m.header_bytes + env.msg.body_bytes().total()) as u64,
+        });
         let before = *m.nodes[to].stats();
         let handled = m.nodes[to].handle(env);
         let after = m.nodes[to].stats();
         let created = after.diffs_created - before.diffs_created;
         let twinned = after.twins_created - before.twins_created;
+        if m.sink.enabled() {
+            let node = Track::Node(to as u32);
+            let instant = |kind| Event { track: node, at: begin, dur: 0, kind };
+            if let Some(kind) = arrived {
+                m.sink.emit(instant(kind));
+            }
+            if twinned > 0 {
+                m.sink.emit(instant(EventKind::TwinCreate { count: twinned }));
+            }
+            if created > 0 {
+                m.sink.emit(instant(EventKind::DiffMake {
+                    count: created,
+                    bytes: after.diff_bytes_created - before.diff_bytes_created,
+                }));
+            }
+            let applied = after.diffs_applied - before.diffs_applied;
+            if applied > 0 {
+                m.sink.emit(instant(EventKind::DiffApply { count: applied }));
+            }
+            let notices = after.notices_received - before.notices_received;
+            if notices > 0 {
+                m.sink.emit(instant(EventKind::WriteNotice { count: notices }));
+            }
+        }
         let service = created * m.params.so.diff_cycles(m.page_size())
             + twinned * (m.page_size() / 4) as u64;
         if service > 0 {
@@ -440,6 +526,7 @@ pub(crate) fn route_timed(
                 &mut heap,
                 &mut events,
                 &mut seq,
+                &mut pending,
                 &mut out.charges,
                 next,
                 None,
@@ -461,10 +548,18 @@ pub(crate) fn route_timed(
 /// Applies a cascade's side effects to the engine: charges remote nodes,
 /// advances the initiator, and wakes blocked processors whose operations
 /// completed. Returns the initiator's own completion times per action kind.
+///
+/// The initiator's elapsed time is split for the trace ledger: its own
+/// local pre-work (up to `local_done`) plus its send/recv/service charges
+/// count as [`Category::Protocol`]; the remainder — time spent waiting on
+/// the wire and on other nodes — is charged to `wait` (network occupancy
+/// for data fetches, synchronization idle for lock/barrier waits).
 pub(crate) fn settle(
     op: &mut Op<'_, DsmMachine>,
     me: NodeId,
     routed: Routed,
+    local_done: Cycle,
+    wait: Category,
 ) -> Vec<(Action, Cycle)> {
     let mut mine = Vec::new();
     let mut me_extra: Cycle = 0;
@@ -487,7 +582,10 @@ pub(crate) fn settle(
     }
     let now = op.now();
     if me_target > now {
-        op.advance(me_target - now);
+        let total = me_target - now;
+        let proto = (local_done.saturating_sub(now) + me_extra).min(total);
+        op.advance_as(Category::Protocol, proto);
+        op.advance_as(wait, total - proto);
     }
     mine
 }
@@ -534,11 +632,20 @@ impl<'a, 'e> DsmSys<'a, 'e> {
                                 AccessData::Read(buf) => m.nodes[me].read_into(addr, buf),
                                 AccessData::Write(bytes) => m.nodes[me].write_from(addr, bytes),
                             }
-                            op.advance(done - now);
+                            op.advance_as(Category::MemStall, done - now);
                             return true;
                         }
                         Some(page) => {
                             // Page fault: handler dispatch, then the protocol.
+                            m.sink.emit(Event {
+                                track: Track::Cpu(me as u32),
+                                at: now,
+                                dur: 0,
+                                kind: EventKind::PageFault {
+                                    page: page as u64,
+                                    write,
+                                },
+                            });
                             let handler = m.params.so.handler;
                             let twins_before = m.nodes[me].stats().twins_created;
                             let start = m.nodes[me].fault(page, write);
@@ -548,11 +655,11 @@ impl<'a, 'e> DsmSys<'a, 'e> {
                                 t += (m.page_size() / 4) as Cycle;
                             }
                             if start.ready {
-                                op.advance(t - now);
+                                op.advance_as(Category::Protocol, t - now);
                             } else {
                                 let routed = route_timed(m, me, t, start.sends);
                                 op.machine().purge_page(me, page);
-                                let mine = settle(op, me, routed);
+                                let mine = settle(op, me, routed, t, Category::Network);
                                 if !mine
                                     .iter()
                                     .any(|(a, _)| *a == Action::PageReady(page))
@@ -609,12 +716,12 @@ impl System for DsmSys<'_, '_> {
                 match start {
                     tmk_core::StartAcquire::Granted => {
                         let c = op.machine().params.lock_local_cost;
-                        op.advance(c);
+                        op.advance_as(Category::Protocol, c);
                         true
                     }
                     tmk_core::StartAcquire::Wait(sends) => {
                         let routed = route_timed(op.machine(), me, now, sends);
-                        let mine = settle(op, me, routed);
+                        let mine = settle(op, me, routed, now, Category::SyncIdle);
                         if mine
                             .iter()
                             .any(|(a, _)| *a == Action::LockGranted(lock))
@@ -643,7 +750,7 @@ impl System for DsmSys<'_, '_> {
             let created = m.nodes[me].stats().diffs_created - created_before;
             let t = now + 2 + created * m.params.so.diff_cycles(m.page_size());
             let routed = route_timed(m, me, t, sends);
-            settle(op, me, routed);
+            settle(op, me, routed, t, Category::Network);
         });
     }
 
@@ -652,13 +759,21 @@ impl System for DsmSys<'_, '_> {
         let done = self.ctx.sync(|op| {
             let now = op.now();
             let m = op.machine();
+            m.sink.emit(Event {
+                track: Track::Cpu(me as u32),
+                at: now,
+                dur: 0,
+                kind: EventKind::BarrierEpoch {
+                    barrier: barrier as u64,
+                },
+            });
             let created_before = m.nodes[me].stats().diffs_created;
             let start = m.nodes[me].barrier_arrive(barrier);
             let created = m.nodes[me].stats().diffs_created - created_before;
             let t = now + 10 + created * m.params.so.diff_cycles(m.page_size());
             let ready = start.ready;
             let routed = route_timed(m, me, t, start.sends);
-            let mine = settle(op, me, routed);
+            let mine = settle(op, me, routed, t, Category::SyncIdle);
             if ready || mine.iter().any(|(a, _)| *a == Action::BarrierDone(barrier)) {
                 true
             } else {

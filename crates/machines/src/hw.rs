@@ -16,6 +16,7 @@ use tmk_mem::{
 };
 use tmk_parmacs::{InitWriter, System};
 use tmk_sim::{Ctx, Cycle};
+use tmk_trace::{Category, Sink};
 
 /// Which coherence fabric backs the machine.
 #[derive(Debug, Clone)]
@@ -184,6 +185,16 @@ impl HwMachine {
         }
     }
 
+    /// Attaches a trace sink: coherence transactions appear on bus track 0.
+    /// Tracing never alters timing.
+    pub fn set_tracer(&mut self, sink: Sink) {
+        match &mut self.fabric {
+            Fabric::Uni { .. } => {}
+            Fabric::Bus(b) => b.set_tracer(sink, 0),
+            Fabric::Dir(d) => d.set_tracer(sink),
+        }
+    }
+
     /// The block size at the coherent level.
     fn block(&self) -> usize {
         match &self.fabric {
@@ -300,7 +311,7 @@ impl System for HwSys<'_, '_> {
             let m = op.machine();
             let done = m.charge_access(me, addr, buf.len(), false, now);
             buf.copy_from_slice(&m.mem[addr..addr + buf.len()]);
-            op.advance(done - now);
+            op.advance_as(Category::MemStall, done - now);
         });
     }
 
@@ -311,7 +322,7 @@ impl System for HwSys<'_, '_> {
             let m = op.machine();
             let done = m.charge_access(me, addr, data.len(), true, now);
             m.mem[addr..addr + data.len()].copy_from_slice(data);
-            op.advance(done - now);
+            op.advance_as(Category::MemStall, done - now);
         });
     }
 
@@ -336,7 +347,7 @@ impl System for HwSys<'_, '_> {
                 };
                 match cost {
                     Some(c) => {
-                        op.advance(c);
+                        op.advance_as(Category::SyncIdle, c);
                         true
                     }
                     None => {
@@ -361,7 +372,7 @@ impl System for HwSys<'_, '_> {
                 l.owner = l.queue.pop_front();
                 (l.owner, transfer)
             };
-            op.advance(2); // store to release
+            op.advance_as(Category::SyncIdle, 2); // store to release
             if let Some(p) = next {
                 op.wake_at(p, now + transfer);
             }
@@ -381,7 +392,7 @@ impl System for HwSys<'_, '_> {
                 b.arrived.push(me);
                 (b.arrived.len() == nprocs, cost, release)
             };
-            op.advance(cost);
+            op.advance_as(Category::SyncIdle, cost);
             if full {
                 let t = now + cost + release;
                 let waiters = {
@@ -393,7 +404,7 @@ impl System for HwSys<'_, '_> {
                         op.wake_at(q, t);
                     }
                 }
-                op.advance(release);
+                op.advance_as(Category::SyncIdle, release);
             } else {
                 op.block();
             }

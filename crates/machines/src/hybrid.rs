@@ -10,11 +10,12 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use tmk_core::{Action, Config, Envelope, Node, NodeId, Traffic};
+use tmk_core::{Action, Config, Envelope, Msg, Node, NodeId, Traffic};
 use tmk_mem::{BusParams, CacheParams, SnoopBus};
 use tmk_net::{NetParams, PointToPointNet, SoftwareOverhead};
 use tmk_parmacs::{InitWriter, System};
 use tmk_sim::{Ctx, Cycle, Op};
+use tmk_trace::{Category, Event, EventKind, Sink, Track};
 
 /// Parameters of the hybrid machine.
 #[derive(Debug, Clone)]
@@ -86,6 +87,8 @@ pub struct HsMachine {
     /// Per-barrier, per-node arrival counts and blocked processors.
     barrier_count: HashMap<usize, Vec<usize>>,
     barrier_waiters: HashMap<usize, Vec<usize>>,
+    /// Trace sink for protocol instants (node tracks); disabled by default.
+    sink: Sink,
 }
 
 impl HsMachine {
@@ -119,8 +122,20 @@ impl HsMachine {
             lock_dsm_pending: HashSet::new(),
             barrier_count: HashMap::new(),
             barrier_waiters: HashMap::new(),
+            sink: Sink::default(),
             params,
         }
+    }
+
+    /// Attaches a trace sink: DSM protocol actions appear on node tracks,
+    /// inter-node transfers on link tracks, and each node's snooping bus on
+    /// its own bus track. Tracing never alters timing.
+    pub fn set_tracer(&mut self, sink: Sink) {
+        for (node, b) in self.buses.iter_mut().enumerate() {
+            b.set_tracer(sink.clone(), node as u32);
+        }
+        self.net.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     fn node_of(&self, proc: usize) -> NodeId {
@@ -216,6 +231,24 @@ fn route_timed(m: &mut HsMachine, me_node: NodeId, t0: Cycle, sends: Vec<Envelop
             avail.insert(from, t_out + send_c);
             let wire = m.header_bytes + body;
             m.traffic.record(&env, m.header_bytes);
+            m.sink.emit(Event {
+                track: Track::Node(from as u32),
+                at: t_out + send_c,
+                dur: 0,
+                kind: EventKind::MsgSend {
+                    to: to as u32,
+                    class: env.msg.class().bit(),
+                    bytes: wire as u64,
+                },
+            });
+            if let Msg::LockForward { lock, .. } = &env.msg {
+                m.sink.emit(Event {
+                    track: Track::Node(from as u32),
+                    at: t_out + send_c,
+                    dur: 0,
+                    kind: EventKind::LockForward { lock: *lock as u64 },
+                });
+            }
             let arrive = m.net.transfer(from, to, wire, t_out + send_c);
             arrive + recv_c
         };
@@ -241,11 +274,40 @@ fn route_timed(m: &mut HsMachine, me_node: NodeId, t0: Cycle, sends: Vec<Envelop
         let env = inflight.remove(&s).expect("in-flight message");
         let to = env.to;
         let begin = t.max(avail.get(&to).copied().unwrap_or(0));
+        let arrived = (m.sink.enabled() && env.from != to).then(|| EventKind::MsgArrive {
+            from: env.from as u32,
+            class: env.msg.class().bit(),
+            bytes: (m.header_bytes + env.msg.body_bytes().total()) as u64,
+        });
         let before = *m.dsm[to].stats();
         let handled = m.dsm[to].handle(env);
         let after = m.dsm[to].stats();
         let created = after.diffs_created - before.diffs_created;
         let twinned = after.twins_created - before.twins_created;
+        if m.sink.enabled() {
+            let node = Track::Node(to as u32);
+            let instant = |kind| Event { track: node, at: begin, dur: 0, kind };
+            if let Some(kind) = arrived {
+                m.sink.emit(instant(kind));
+            }
+            if twinned > 0 {
+                m.sink.emit(instant(EventKind::TwinCreate { count: twinned }));
+            }
+            if created > 0 {
+                m.sink.emit(instant(EventKind::DiffMake {
+                    count: created,
+                    bytes: after.diff_bytes_created - before.diff_bytes_created,
+                }));
+            }
+            let applied = after.diffs_applied - before.diffs_applied;
+            if applied > 0 {
+                m.sink.emit(instant(EventKind::DiffApply { count: applied }));
+            }
+            let notices = after.notices_received - before.notices_received;
+            if notices > 0 {
+                m.sink.emit(instant(EventKind::WriteNotice { count: notices }));
+            }
+        }
         let service = created * m.params.so.diff_cycles(m.page_size())
             + twinned * (m.page_size() / 4) as u64;
         if service > 0 {
@@ -301,6 +363,8 @@ impl<'a, 'e> HsSys<'a, 'e> {
         me_proc: usize,
         me_node: NodeId,
         routed: Routed,
+        local_done: Cycle,
+        wait: Category,
     ) -> Vec<(Action, Cycle)> {
         let per_node = op.machine().params.per_node;
         let mut mine = Vec::new();
@@ -324,7 +388,13 @@ impl<'a, 'e> HsSys<'a, 'e> {
         }
         let now = op.now();
         if me_target > now {
-            op.advance(me_target - now);
+            // Split for the trace ledger: local pre-work plus this node's
+            // send/recv/service charges are protocol time, the rest is
+            // waiting (see `dsm::settle`).
+            let total = me_target - now;
+            let proto = (local_done.saturating_sub(now) + me_extra).min(total);
+            op.advance_as(Category::Protocol, proto);
+            op.advance_as(wait, total - proto);
         }
         let _ = me_proc;
         mine
@@ -354,10 +424,19 @@ impl<'a, 'e> HsSys<'a, 'e> {
                                 AccessData::Read(buf) => m.dsm[nd].read_into(addr, buf),
                                 AccessData::Write(bytes) => m.dsm[nd].write_from(addr, bytes),
                             }
-                            op.advance(done - now);
+                            op.advance_as(Category::MemStall, done - now);
                             return true;
                         }
                         Some(page) => {
+                            m.sink.emit(Event {
+                                track: Track::Cpu(me as u32),
+                                at: now,
+                                dur: 0,
+                                kind: EventKind::PageFault {
+                                    page: page as u64,
+                                    write,
+                                },
+                            });
                             let handler = m.params.so.handler;
                             let twins_before = m.dsm[nd].stats().twins_created;
                             let start = m.dsm[nd].fault(page, write);
@@ -366,11 +445,12 @@ impl<'a, 'e> HsSys<'a, 'e> {
                                 t += (m.page_size() / 4) as Cycle;
                             }
                             if start.ready {
-                                op.advance(t - now);
+                                op.advance_as(Category::Protocol, t - now);
                             } else {
                                 let routed = route_timed(m, nd, t, start.sends);
                                 op.machine().purge_page(nd, page);
-                                let mine = self.settle(op, me, nd, routed);
+                                let mine =
+                                    self.settle(op, me, nd, routed, t, Category::Network);
                                 if !mine
                                     .iter()
                                     .any(|(a, _)| *a == Action::PageReady(page))
@@ -473,12 +553,13 @@ impl System for HsSys<'_, '_> {
                             tmk_core::StartAcquire::Granted => {
                                 let c = op.machine().params.lock_local_cost;
                                 op.machine().lock_holder.insert(lock, me);
-                                op.advance(c);
+                                op.advance_as(Category::Protocol, c);
                                 true
                             }
                             tmk_core::StartAcquire::Wait(sends) => {
                                 let routed = route_timed(op.machine(), nd, now, sends);
-                                let mine = self.settle(op, me, nd, routed);
+                                let mine = self
+                                    .settle(op, me, nd, routed, now, Category::SyncIdle);
                                 let granted = mine.iter().any(|(a, _)| {
                                     *a == Action::LockGranted(lock)
                                 });
@@ -526,7 +607,7 @@ impl System for HsSys<'_, '_> {
             if let Some(p) = local_next {
                 let c = op.machine().params.lock_local_cost;
                 op.machine().lock_holder.insert(lock, p);
-                op.advance(2);
+                op.advance_as(Category::SyncIdle, 2);
                 op.wake_at(p, now + c);
                 return;
             }
@@ -535,7 +616,7 @@ impl System for HsSys<'_, '_> {
             // the token, and one of its waiters the lock.
             let sends = op.machine().dsm[nd].release(lock);
             let routed = route_timed(op.machine(), nd, now + 2, sends);
-            let mine = self.settle(op, me, nd, routed);
+            let mine = self.settle(op, me, nd, routed, now + 2, Category::Network);
             for (action, t) in mine {
                 if let Action::LockGranted(l) = action {
                     debug_assert_eq!(l, lock);
@@ -560,7 +641,7 @@ impl System for HsSys<'_, '_> {
                     }
                 }
             }
-            op.advance(2);
+            op.advance_as(Category::SyncIdle, 2);
         });
     }
 
@@ -586,7 +667,15 @@ impl System for HsSys<'_, '_> {
                 counts[nd] += 1;
                 counts[nd] == per_node
             };
-            op.advance(local_cost);
+            op.machine().sink.emit(Event {
+                track: Track::Cpu(me as u32),
+                at: now,
+                dur: 0,
+                kind: EventKind::BarrierEpoch {
+                    barrier: barrier as u64,
+                },
+            });
+            op.advance_as(Category::SyncIdle, local_cost);
             if !node_full {
                 op.machine()
                     .barrier_waiters
@@ -607,7 +696,7 @@ impl System for HsSys<'_, '_> {
                 (start.ready, start.sends)
             };
             let routed = route_timed(op.machine(), nd, t, sends);
-            let mine = self.settle(op, me, nd, routed);
+            let mine = self.settle(op, me, nd, routed, t, Category::SyncIdle);
             let mut my_done: Option<Cycle> = None;
             for (action, at) in mine {
                 if let Action::BarrierDone(b) = action {

@@ -26,4 +26,4 @@ pub use hw::{HwKind, HwMachine, HwParams};
 pub use hybrid::{HsMachine, HsParams};
 pub use json::Json;
 pub use report::{Outcome, RunReport};
-pub use run::{run_on, run_workload, DsmTuning, Platform};
+pub use run::{run_on, run_on_traced, run_workload, run_workload_traced, DsmTuning, Platform};

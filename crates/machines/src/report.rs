@@ -72,6 +72,8 @@ impl RunReport {
             miss_bytes: t.miss_bytes - m.miss_bytes,
             consistency_bytes: t.consistency_bytes - m.consistency_bytes,
             header_bytes: t.header_bytes - m.header_bytes,
+            msgs_recorded: t.msgs_recorded - m.msgs_recorded,
+            bytes_recorded: t.bytes_recorded - m.bytes_recorded,
         }
     }
 
@@ -92,15 +94,20 @@ impl RunReport {
             .set("traffic", traffic_json(&self.traffic))
             .set("window_traffic", traffic_json(&self.window_traffic()))
             .set("dsm", node_stats_json(&self.dsm))
-            .set(
-                "reliability",
-                Json::obj()
+            .set("reliability", {
+                let mut rel = Json::obj()
                     .set("data_msgs", self.reliability.data_msgs)
                     .set("retransmissions", self.reliability.retransmissions)
                     .set("timeouts", self.reliability.timeouts)
                     .set("dup_suppressed", self.reliability.dup_suppressed)
-                    .set("acks", self.reliability.acks),
-            )
+                    .set("acks", self.reliability.acks);
+                // Only fixed-RTO runs predate this counter; keep their
+                // committed JSON byte-identical by omitting the zero.
+                if self.reliability.spurious > 0 {
+                    rel = rel.set("spurious", self.reliability.spurious);
+                }
+                rel
+            })
             .set(
                 "net_faults",
                 Json::obj()

@@ -1,10 +1,13 @@
 //! One entry point to run an application on any of the five platforms.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
 use tmk_net::SoftwareOverhead;
 use tmk_parmacs::{Alloc, InitWriter, System};
 use tmk_sim::Engine;
+use tmk_trace::{Sink, TraceBuf};
 
 use crate::dsm::{DsmMachine, DsmParams, DsmSys};
 use crate::hw::{HwMachine, HwParams, HwSys};
@@ -154,6 +157,9 @@ impl Platform {
             }
             if let Some(r) = &tuning.reliability {
                 s.push_str(&format!("/rt{}b{}r{}", r.timeout, r.backoff, r.max_retries));
+                if let Some(a) = &r.adaptive {
+                    s.push_str(&format!("/a{}-{}", a.floor, a.ceiling));
+                }
             }
             if let Some(w) = tuning.watchdog_budget {
                 s.push_str(&format!("/wd{w}"));
@@ -233,24 +239,51 @@ where
     FI: FnOnce(&P, &mut dyn InitWriter),
     FB: Fn(&dyn System, &P) -> R + Send + Sync,
 {
+    run_on_traced(platform, segment_bytes, plan, init, body, None).0
+}
+
+/// [`run_on`] with event tracing and time attribution.
+///
+/// `trace` is the per-processor event-ring capacity: `Some(cap)` arms a
+/// [`TraceBuf`] whose per-category cycle ledger and Chrome-trace events are
+/// returned alongside the outcome (`Some(0)` keeps the ledger but records
+/// no events). `None` runs untraced — the zero-cost default — and returns
+/// no buffer. Tracing never alters simulated timing: a traced run is
+/// cycle-identical to an untraced one.
+pub fn run_on_traced<P, R, FP, FI, FB>(
+    platform: &Platform,
+    segment_bytes: usize,
+    plan: FP,
+    init: FI,
+    body: FB,
+    trace: Option<usize>,
+) -> (Outcome<R>, Option<Arc<TraceBuf>>)
+where
+    P: Send + Sync,
+    R: Send,
+    FP: FnOnce(&mut Alloc) -> P,
+    FI: FnOnce(&P, &mut dyn InitWriter),
+    FB: Fn(&dyn System, &P) -> R + Send + Sync,
+{
     let mut alloc = Alloc::new(segment_bytes);
     let p = plan(&mut alloc);
+    let buf = trace.map(|cap| Arc::new(TraceBuf::new(platform.procs(), cap)));
 
-    match platform {
+    let out = match platform {
         Platform::Dec => {
             let mut machine = HwMachine::new(HwParams::dec_5000_240(), segment_bytes);
             init(&p, &mut machine);
-            run_hw(machine, 1, &p, body)
+            run_hw(machine, 1, &p, body, buf.clone())
         }
         Platform::Sgi { procs } => {
             let mut machine = HwMachine::new(HwParams::sgi_4d480(*procs), segment_bytes);
             init(&p, &mut machine);
-            run_hw(machine, *procs, &p, body)
+            run_hw(machine, *procs, &p, body, buf.clone())
         }
         Platform::Ah { procs } => {
             let mut machine = HwMachine::new(HwParams::ah(*procs), segment_bytes);
             init(&p, &mut machine);
-            run_hw(machine, *procs, &p, body)
+            run_hw(machine, *procs, &p, body, buf.clone())
         }
         Platform::AsCluster {
             procs,
@@ -268,7 +301,7 @@ where
             }
             let mut machine = DsmMachine::new(params, segment_bytes, tuning);
             init(&p, &mut machine);
-            run_dsm(machine, *procs, &p, body)
+            run_dsm(machine, *procs, &p, body, buf.clone())
         }
         Platform::Hs {
             nodes,
@@ -283,7 +316,25 @@ where
             let procs = params.procs();
             let mut machine = HsMachine::new(params, segment_bytes, tuning);
             init(&p, &mut machine);
-            run_hs(machine, procs, &p, body)
+            run_hs(machine, procs, &p, body, buf.clone())
+        }
+    };
+    (out, buf)
+}
+
+/// Cross-checks a finished report: traffic class/byte accounting must
+/// reconcile, and when tracing was armed every processor's per-category
+/// cycle ledger must sum exactly to its finishing clock.
+fn audit(report: &RunReport, buf: &Option<Arc<TraceBuf>>) {
+    if let Err(e) = report.traffic.check() {
+        panic!("{e}");
+    }
+    if let Err(e) = report.mark_traffic.check() {
+        panic!("mark snapshot: {e}");
+    }
+    if let Some(buf) = buf {
+        if let Err(e) = buf.check(&report.proc_cycles) {
+            panic!("{e}");
         }
     }
 }
@@ -296,13 +347,25 @@ fn collect<R>(results: Mutex<Vec<Option<R>>>) -> Vec<R> {
         .collect()
 }
 
-fn run_hw<P, R, FB>(machine: HwMachine, procs: usize, p: &P, body: FB) -> Outcome<R>
+fn run_hw<P, R, FB>(
+    mut machine: HwMachine,
+    procs: usize,
+    p: &P,
+    body: FB,
+    trace: Option<Arc<TraceBuf>>,
+) -> Outcome<R>
 where
     P: Send + Sync,
     R: Send,
     FB: Fn(&dyn System, &P) -> R + Send + Sync,
 {
-    let engine = Engine::new(machine, procs);
+    if let Some(buf) = &trace {
+        machine.set_tracer(Sink::new(buf.clone()));
+    }
+    let mut engine = Engine::new(machine, procs);
+    if let Some(buf) = &trace {
+        engine = engine.with_tracer(buf.clone());
+    }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
     let run = engine.run(|ctx| {
         let sys = HwSys::new(ctx);
@@ -316,23 +379,36 @@ where
         ..Default::default()
     };
     run.machine.fill_report(&mut report);
+    audit(&report, &trace);
     Outcome {
         results: collect(results),
         report,
     }
 }
 
-fn run_dsm<P, R, FB>(machine: DsmMachine, procs: usize, p: &P, body: FB) -> Outcome<R>
+fn run_dsm<P, R, FB>(
+    mut machine: DsmMachine,
+    procs: usize,
+    p: &P,
+    body: FB,
+    trace: Option<Arc<TraceBuf>>,
+) -> Outcome<R>
 where
     P: Send + Sync,
     R: Send,
     FB: Fn(&dyn System, &P) -> R + Send + Sync,
 {
+    if let Some(buf) = &trace {
+        machine.set_tracer(Sink::new(buf.clone()));
+    }
     let budget = machine.watchdog_budget;
     let mut engine =
         Engine::new(machine, procs).with_diagnostics(|m: &DsmMachine| m.diagnostics());
     if let Some(b) = budget {
         engine = engine.with_cycle_budget(b);
+    }
+    if let Some(buf) = &trace {
+        engine = engine.with_tracer(buf.clone());
     }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
     let run = engine.run(|ctx| {
@@ -347,19 +423,32 @@ where
         ..Default::default()
     };
     run.machine.fill_report(&mut report);
+    audit(&report, &trace);
     Outcome {
         results: collect(results),
         report,
     }
 }
 
-fn run_hs<P, R, FB>(machine: HsMachine, procs: usize, p: &P, body: FB) -> Outcome<R>
+fn run_hs<P, R, FB>(
+    mut machine: HsMachine,
+    procs: usize,
+    p: &P,
+    body: FB,
+    trace: Option<Arc<TraceBuf>>,
+) -> Outcome<R>
 where
     P: Send + Sync,
     R: Send,
     FB: Fn(&dyn System, &P) -> R + Send + Sync,
 {
-    let engine = Engine::new(machine, procs);
+    if let Some(buf) = &trace {
+        machine.set_tracer(Sink::new(buf.clone()));
+    }
+    let mut engine = Engine::new(machine, procs);
+    if let Some(buf) = &trace {
+        engine = engine.with_tracer(buf.clone());
+    }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
     let run = engine.run(|ctx| {
         let sys = HsSys::new(ctx);
@@ -373,6 +462,7 @@ where
         ..Default::default()
     };
     run.machine.fill_report(&mut report);
+    audit(&report, &trace);
     Outcome {
         results: collect(results),
         report,
@@ -382,12 +472,22 @@ where
 /// Runs a [`Workload`](tmk_parmacs::Workload) on a platform, returning the
 /// per-processor checksums plus the measurement report.
 pub fn run_workload<W: tmk_parmacs::Workload>(platform: &Platform, w: &W) -> Outcome<f64> {
-    run_on(
+    run_workload_traced(platform, w, None).0
+}
+
+/// [`run_workload`] with tracing (see [`run_on_traced`]).
+pub fn run_workload_traced<W: tmk_parmacs::Workload>(
+    platform: &Platform,
+    w: &W,
+    trace: Option<usize>,
+) -> (Outcome<f64>, Option<Arc<TraceBuf>>) {
+    run_on_traced(
         platform,
         w.segment_bytes(),
         |alloc| w.plan(alloc),
         |plan, writer| w.init(plan, writer),
         |sys, plan| w.body(sys, plan),
+        trace,
     )
 }
 

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use tmk_sim::Cycle;
+use tmk_trace::{Event, EventKind, Sink, Track};
 
 use crate::cache::{DirectCache, LineState, Probe};
 use crate::{CacheParams, CacheStats, LineAddr};
@@ -84,6 +85,7 @@ pub struct Directory {
     entries: HashMap<LineAddr, Entry>,
     params: DirectoryParams,
     stats: DirectoryStats,
+    sink: Sink,
 }
 
 impl Directory {
@@ -99,7 +101,23 @@ impl Directory {
             entries: HashMap::new(),
             params,
             stats: DirectoryStats::default(),
+            sink: Sink::default(),
         }
+    }
+
+    /// Attaches a trace sink; directory transactions (misses and upgrades)
+    /// appear on bus track 0. Tracing never alters timing.
+    pub fn set_tracer(&mut self, sink: Sink) {
+        self.sink = sink;
+    }
+
+    fn trace_txn(&self, write: bool, at: Cycle, dur: Cycle) {
+        self.sink.emit(Event {
+            track: Track::Bus(0),
+            at,
+            dur,
+            kind: EventKind::DirTxn { write },
+        });
     }
 
     /// Number of nodes.
@@ -146,6 +164,7 @@ impl Directory {
             }
             Probe::UpgradeMiss => {
                 self.stats.upgrades += 1;
+                self.trace_txn(true, now, self.params.upgrade);
                 let invalidated = self.invalidate_sharers(line, node);
                 let e = self.entries.entry(line).or_default();
                 e.owner = Some(node);
@@ -235,6 +254,7 @@ impl Directory {
             self.drop_from_entry(victim, node, vstate);
         }
 
+        self.trace_txn(write, now, latency);
         DirAccess {
             done: now + latency,
             hit: false,

@@ -7,6 +7,7 @@
 //! is modelled by occupancy reservation on the one shared resource.
 
 use tmk_sim::Cycle;
+use tmk_trace::{Event, EventKind, Sink, Track};
 
 use crate::cache::{DirectCache, LineState, Probe};
 use crate::{CacheParams, CacheStats, LineAddr};
@@ -90,6 +91,8 @@ pub struct SnoopBus {
     params: BusParams,
     free_at: Cycle,
     stats: BusStats,
+    sink: Sink,
+    track: u32,
 }
 
 impl SnoopBus {
@@ -100,7 +103,26 @@ impl SnoopBus {
             params,
             free_at: 0,
             stats: BusStats::default(),
+            sink: Sink::default(),
+            track: 0,
         }
+    }
+
+    /// Attaches a trace sink; bus transactions (misses and upgrades — hits
+    /// are silent) appear on bus track `track`. Tracing never alters
+    /// timing.
+    pub fn set_tracer(&mut self, sink: Sink, track: u32) {
+        self.sink = sink;
+        self.track = track;
+    }
+
+    fn trace_txn(&self, write: bool, at: Cycle, dur: Cycle) {
+        self.sink.emit(Event {
+            track: Track::Bus(self.track),
+            at,
+            dur,
+            kind: EventKind::BusTxn { write },
+        });
     }
 
     /// The block size of the attached caches.
@@ -128,6 +150,7 @@ impl SnoopBus {
             },
             Probe::UpgradeMiss => {
                 let start = self.grab_bus(now, self.params.transaction);
+                self.trace_txn(true, start, self.params.transaction);
                 let invalidated = self.invalidate_others(proc, line);
                 self.caches[proc].set_state(line, LineState::Modified);
                 SnoopAccess {
@@ -195,6 +218,7 @@ impl SnoopBus {
         self.stats.data_bytes += self.block() as u64;
 
         let start = self.grab_bus(now, occupancy);
+        self.trace_txn(write, start, occupancy);
         SnoopAccess {
             done: start + latency,
             hit: false,

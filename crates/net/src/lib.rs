@@ -24,6 +24,7 @@
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use tmk_sim::Cycle;
+use tmk_trace::{Event, EventKind, Sink, Track};
 
 /// Word size used for per-word software costs (32-bit MIPS word).
 pub const WORD_BYTES: usize = 4;
@@ -175,6 +176,7 @@ pub struct PointToPointNet {
     rx_free: Vec<Cycle>,
     messages: u64,
     bytes: u64,
+    sink: Sink,
 }
 
 impl PointToPointNet {
@@ -186,7 +188,14 @@ impl PointToPointNet {
             rx_free: vec![0; hosts],
             messages: 0,
             bytes: 0,
+            sink: Sink::default(),
         }
+    }
+
+    /// Attaches a trace sink; every transfer logs a `LinkXfer` event with
+    /// its occupancy wait. Tracing never alters timing.
+    pub fn set_sink(&mut self, sink: Sink) {
+        self.sink = sink;
     }
 
     /// Number of endpoints.
@@ -222,6 +231,17 @@ impl PointToPointNet {
         self.rx_free[to] = done;
         self.messages += 1;
         self.bytes += bytes as u64;
+        self.sink.emit(Event {
+            track: Track::Link(from as u32),
+            at: start,
+            dur: wire,
+            kind: EventKind::LinkXfer {
+                from: from as u32,
+                to: to as u32,
+                bytes: bytes as u64,
+                wait: start - depart,
+            },
+        });
         done + self.params.latency
     }
 
@@ -446,6 +466,11 @@ impl LossyNet {
     /// [`PointToPointNet::transfer`]).
     pub fn transfer(&mut self, from: usize, to: usize, bytes: usize, depart: Cycle) -> Cycle {
         self.inner.transfer(from, to, bytes, depart)
+    }
+
+    /// Attaches a trace sink to the inner network.
+    pub fn set_sink(&mut self, sink: Sink) {
+        self.inner.set_sink(sink);
     }
 
     /// The configured parameters.

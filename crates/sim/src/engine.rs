@@ -9,6 +9,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use tmk_trace::{Category, Sink, TraceBuf};
 
 use crate::Cycle;
 
@@ -106,6 +107,16 @@ struct Sched {
     /// Watchdog verdict; doubles as the panic message of every processor
     /// unwound by it.
     fatal: Option<String>,
+    /// Time-attribution sink ([`Engine::with_tracer`]); disabled by
+    /// default, in which case every charge below is a no-op.
+    ///
+    /// The attribution invariant (per-processor categories sum exactly to
+    /// the final clock) holds by construction: every mutation of `clocks`
+    /// goes through [`Ctx::advance`], [`Op::advance`]/[`Op::advance_as`],
+    /// [`Sched::apply_stolen`] or [`Op::wake_at`], and each charges the
+    /// sink *before* incrementing the clock (so spans start at the
+    /// pre-increment time).
+    tracer: Sink,
 }
 
 impl Sched {
@@ -121,6 +132,7 @@ impl Sched {
             poisoned: false,
             budget: None,
             fatal: None,
+            tracer: Sink::default(),
         }
     }
 
@@ -154,6 +166,11 @@ impl Sched {
     }
 
     fn apply_stolen(&mut self, p: usize) {
+        // Ledger only, no span event: the *total* stolen by handlers from
+        // each processor is deterministic, but how many deposits a single
+        // fold happens to collect depends on host thread interleaving, and
+        // per-fold spans would make otherwise identical traces diverge.
+        self.tracer.charge(p, Category::Stolen, self.stolen[p]);
         self.clocks[p] += self.stolen[p];
         self.stolen[p] = 0;
     }
@@ -217,6 +234,17 @@ impl<M: Send> Engine<M> {
     pub fn with_cycle_budget(mut self, budget: Cycle) -> Self {
         let inner = Arc::get_mut(&mut self.inner).expect("configured before run");
         inner.state.get_mut().sched.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a time-attribution tracer: every simulated cycle of every
+    /// processor is charged to a `tmk_trace::Category` as the clocks
+    /// advance, and (when the buffer keeps events) category spans appear
+    /// on the processors' trace tracks. Tracing never alters clocks, so a
+    /// traced run is cycle-identical to an untraced one.
+    pub fn with_tracer(mut self, buf: Arc<TraceBuf>) -> Self {
+        let inner = Arc::get_mut(&mut self.inner).expect("configured before run");
+        inner.state.get_mut().sched.tracer = Sink::new(buf);
         self
     }
 
@@ -362,6 +390,9 @@ impl<'e, M> Ctx<'e, M> {
     pub fn advance(&self, cycles: Cycle) {
         let mut st = self.inner.state.lock();
         st.sched.apply_stolen(self.id);
+        st.sched
+            .tracer
+            .charge_span(self.id, Category::Compute, st.sched.clocks[self.id], cycles);
         st.sched.clocks[self.id] += cycles;
         // Our clock moving forward may have made another processor the
         // minimum; hand the turn over if it is parked.
@@ -480,9 +511,27 @@ impl<'a, M> Op<'a, M> {
         self.state.sched.clocks[self.id]
     }
 
-    /// Charges `cycles` to this processor as part of the operation.
+    /// Charges `cycles` to this processor as part of the operation,
+    /// attributed as computation.
     pub fn advance(&mut self, cycles: Cycle) {
-        self.state.sched.clocks[self.id] += cycles;
+        self.advance_as(Category::Compute, cycles);
+    }
+
+    /// Charges `cycles` to this processor, attributed to `cat` (the
+    /// machine layers split an operation's latency into memory-stall,
+    /// protocol, synchronization-idle and network portions).
+    pub fn advance_as(&mut self, cat: Category, cycles: Cycle) {
+        let sched = &mut self.state.sched;
+        sched
+            .tracer
+            .charge_span(self.id, cat, sched.clocks[self.id], cycles);
+        sched.clocks[self.id] += cycles;
+    }
+
+    /// The trace sink, for machine layers that log protocol/network
+    /// instants (no-op when tracing is disabled).
+    pub fn tracer(&self) -> &Sink {
+        &self.state.sched.tracer
     }
 
     /// Effective clock of an arbitrary processor (for latency computations
@@ -498,7 +547,9 @@ impl<'a, M> Op<'a, M> {
     /// message handlers stealing time from the computation.
     pub fn charge_remote(&mut self, pid: usize, cycles: Cycle) {
         if pid == self.id {
-            self.advance(cycles);
+            // Servicing one's own request is still handler work, so it is
+            // attributed as stolen time either way.
+            self.advance_as(Category::Stolen, cycles);
         } else {
             self.state.sched.stolen[pid] += cycles;
         }
@@ -532,6 +583,14 @@ impl<'a, M> Op<'a, M> {
             "wake_at({pid}): processor is not blocked"
         );
         sched.apply_stolen(pid);
+        // The gap between the sleeper's frozen clock and its wake time is
+        // synchronization idling (lock-wait, barrier-wait). Writing to the
+        // sleeper's track is safe: it is parked inside `sync` and cannot
+        // race (we hold the engine lock).
+        let gap = at.saturating_sub(sched.clocks[pid]);
+        sched
+            .tracer
+            .charge_span(pid, Category::SyncIdle, sched.clocks[pid], gap);
         sched.clocks[pid] = sched.clocks[pid].max(at);
         sched.status[pid] = Status::Ready;
         sched.block_reason[pid] = None;

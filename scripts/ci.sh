@@ -22,4 +22,21 @@ timeout "${CHAOS_TIMEOUT:-600}" \
     ./target/release/suite --experiment chaos --quick \
     --json --out target/smoke > target/smoke/chaos.txt
 
+echo "== trace: breakdown decomposition + trace determinism =="
+# Two traced quick-tier runs must record byte-identical Chrome traces; the
+# suite validates each document against its JSON parser before writing.
+rm -rf target/smoke/trace-a target/smoke/trace-b
+timeout "${CHAOS_TIMEOUT:-600}" \
+    ./target/release/suite --experiment breakdown --quick \
+    --trace target/smoke/trace-a \
+    --json --out target/smoke > target/smoke/breakdown.txt
+timeout "${CHAOS_TIMEOUT:-600}" \
+    ./target/release/suite --experiment breakdown --quick \
+    --trace target/smoke/trace-b > /dev/null
+for f in target/smoke/trace-a/*.trace.json; do
+    [ -s "$f" ] || { echo "empty trace: $f"; exit 1; }
+    ./target/release/suite trace-diff "$f" \
+        "target/smoke/trace-b/$(basename "$f")" | grep -q "no divergence"
+done
+
 echo "ci: all checks passed"

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates every table and figure of the ISCA'94 reproduction through the
+# Regenerates every table and figure of the ISCA'94 reproduction — plus the
+# chaos sweep and the traced time-breakdown decomposition — through the
 # unified experiment driver: one build, one suite run fanned across host
 # cores, text and JSON records emitted together into results/ plus the
 # BENCH_results.json suite summary. Exits non-zero if any simulated run or

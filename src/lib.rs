@@ -7,6 +7,7 @@
 //! * [`dsm`] — the TreadMarks-style lazy-release-consistency DSM protocol
 //!   and its in-process multi-threaded runtime (the paper's software side).
 //! * [`sim`] — the deterministic execution-driven simulation engine.
+//! * [`trace`] — structured event tracing and cycle attribution.
 //! * [`mem`] — cache, snooping-bus and directory coherence models.
 //! * [`net`] — ATM LAN / crossbar network and software-overhead models.
 //! * [`parmacs`] — the PARMACS-like parallel programming interface.
@@ -23,3 +24,4 @@ pub use tmk_mem as mem;
 pub use tmk_net as net;
 pub use tmk_parmacs as parmacs;
 pub use tmk_sim as sim;
+pub use tmk_trace as trace;

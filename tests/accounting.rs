@@ -135,3 +135,34 @@ fn clock_rates_match_the_platform_era() {
         100_000_000
     );
 }
+
+#[test]
+fn per_class_counters_reconcile_with_recorded_totals() {
+    // Every message is recorded twice: once into its class counter and
+    // once into the run-total cross-check; `Traffic::check` proves the
+    // two bookkeepings agree exactly, per platform.
+    let w = water::Water::tiny(water::WaterMode::Original);
+    for p in [
+        Platform::Dec,
+        Platform::Sgi { procs: 4 },
+        Platform::treadmarks(4),
+        Platform::as_sim(4),
+        Platform::hs_sim(2, 2),
+        Platform::Ah { procs: 4 },
+    ] {
+        let r = run_workload(&p, &w).report;
+        r.traffic
+            .check()
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        r.mark_traffic
+            .check()
+            .unwrap_or_else(|e| panic!("{} (mark snapshot): {e}", p.name()));
+    }
+    // On a software platform the totals are nonzero and exact.
+    let t = run_workload(&Platform::as_sim(4), &tsp::Tsp::new(10))
+        .report
+        .traffic;
+    assert!(t.msgs_recorded > 0);
+    assert_eq!(t.total_msgs(), t.msgs_recorded);
+    assert_eq!(t.total_bytes(), t.bytes_recorded);
+}

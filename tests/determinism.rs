@@ -3,7 +3,7 @@
 //! (This is what makes the reproduction's numbers meaningful at all.)
 
 use tmk::apps::{sor, tsp, water};
-use tmk::machines::{run_workload, Platform};
+use tmk::machines::{run_workload, run_workload_traced, Platform};
 use tmk::parmacs::Workload;
 
 fn fingerprint<W: Workload>(p: &Platform, w: &W) -> (u64, Vec<u64>, u64, u64) {
@@ -67,4 +67,45 @@ fn more_processors_change_the_clock_vector_not_the_answer() {
     let sum2: f64 = out2.results.iter().sum();
     let sum4: f64 = out4.results.iter().sum();
     assert!((sum2 - sum4).abs() < 1e-9 * sum2.abs());
+}
+
+#[test]
+fn traced_runs_record_byte_identical_traces() {
+    let w = sor::Sor::tiny();
+    let p = Platform::treadmarks(4);
+    let (out_a, buf_a) = run_workload_traced(&p, &w, Some(1 << 16));
+    let (out_b, buf_b) = run_workload_traced(&p, &w, Some(1 << 16));
+    let (trace_a, trace_b) = (
+        buf_a.expect("tracing armed").chrome_trace(),
+        buf_b.expect("tracing armed").chrome_trace(),
+    );
+    assert_eq!(
+        tmk::trace::first_divergence(&trace_a, &trace_b),
+        None,
+        "identical runs recorded diverging traces"
+    );
+    assert_eq!(trace_a, trace_b, "traces must match byte for byte");
+    assert_eq!(out_a.report.proc_cycles, out_b.report.proc_cycles);
+}
+
+#[test]
+fn tracing_never_alters_the_simulation() {
+    // A traced run must report exactly what the untraced run reports —
+    // the tracer observes the clock, it never moves it.
+    let w = tsp::Tsp::new(8);
+    for p in [Platform::treadmarks(4), Platform::hs_sim(2, 2), Platform::Sgi { procs: 4 }] {
+        let plain = run_workload(&p, &w);
+        let (traced, buf) = run_workload_traced(&p, &w, Some(1 << 16));
+        assert_eq!(
+            plain.report.to_json().render(),
+            traced.report.to_json().render(),
+            "{}: traced report deviates from untraced",
+            p.name()
+        );
+        assert_eq!(plain.results, traced.results, "{}", p.name());
+        // And the trace it recorded accounts for every cycle.
+        buf.expect("tracing armed")
+            .check(&traced.report.proc_cycles)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+    }
 }
