@@ -68,6 +68,20 @@ impl Sor {
         }
     }
 
+    /// The GC-scaling configuration (2048×2048 = 32 MB): the largest grid
+    /// we simulate, sized so consistency metadata (intervals, write
+    /// notices, cached diffs) accumulates enough across barriers to make
+    /// barrier-time garbage collection measurable.
+    pub fn huge() -> Self {
+        Sor {
+            rows: 2048,
+            cols: 2048,
+            iters: 8,
+            init: SorInit::EdgesOnly,
+            cycles_per_point: 50,
+        }
+    }
+
     /// A tiny configuration for tests.
     pub fn tiny() -> Self {
         Sor {

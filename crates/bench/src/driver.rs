@@ -69,6 +69,8 @@ pub enum WorkloadSpec {
     IlinkBad,
     /// ILINK on the tiny test pedigree.
     IlinkTiny,
+    /// SOR 2048×2048 (the GC-scaling grid).
+    SorHuge,
     /// SOR 2048×1024.
     SorLarge,
     /// SOR 1024×1024.
@@ -107,6 +109,7 @@ impl WorkloadSpec {
             WorkloadSpec::IlinkClp => "ilink-clp".to_string(),
             WorkloadSpec::IlinkBad => "ilink-bad".to_string(),
             WorkloadSpec::IlinkTiny => "ilink-tiny".to_string(),
+            WorkloadSpec::SorHuge => "sor-huge".to_string(),
             WorkloadSpec::SorLarge => "sor-large".to_string(),
             WorkloadSpec::SorSmall => "sor-small".to_string(),
             WorkloadSpec::SorTiny => "sor-tiny".to_string(),
@@ -130,6 +133,7 @@ impl WorkloadSpec {
 
     fn sor(&self) -> Option<sor::Sor> {
         match self {
+            WorkloadSpec::SorHuge => Some(sor::Sor::huge()),
             WorkloadSpec::SorLarge => Some(sor::Sor::large()),
             WorkloadSpec::SorSmall => Some(sor::Sor::small()),
             WorkloadSpec::SorTiny => Some(sor::Sor::tiny()),
@@ -1722,6 +1726,226 @@ fn breakdown(tier: Tier) -> Experiment {
     }
 }
 
+fn scaling(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    let (w, label) = if quick {
+        (WorkloadSpec::SorTiny, "SOR tiny")
+    } else {
+        (WorkloadSpec::SorHuge, "SOR 2048x2048")
+    };
+    // Collection threshold: bytes of per-node consistency metadata
+    // (interval records + cached diffs) that arm the piggybacked GC at the
+    // next barrier. The smoke grid's metadata is tiny, so the quick tier
+    // collects at every barrier; the full tier uses a TreadMarks-like
+    // budget that fires a handful of times across the run.
+    let threshold: u64 = if quick { 1 } else { 256 * 1024 };
+    let procs = if quick { 4usize } else { 16 };
+    let procs_list: Vec<usize> = if quick { vec![2, 4] } else { vec![16, 32] };
+
+    let with_gc = move |procs: usize, gc: u64| -> Platform {
+        Platform::AsCluster {
+            procs,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                gc: Some(gc),
+                ..Default::default()
+            },
+        }
+    };
+    // An unreachable threshold arms the memory ledger without ever
+    // collecting: the GC-free baseline whose footprint the collector must
+    // beat, with the same instrumentation.
+    let ledger_only = u64::MAX;
+
+    let mut sections = Vec::new();
+
+    // The footprint/cost comparison at the primary machine size: the same
+    // run with no ledger, with the ledger alone, and with the collector.
+    {
+        let w = w.clone();
+        let requests = vec![
+            req(Platform::as_sim(procs), w.clone()),
+            req(with_gc(procs, threshold), w.clone()),
+            req(with_gc(procs, ledger_only), w.clone()),
+        ];
+        let render: Render = Box::new(move |ctx| {
+            let plain = ctx.data(&req(Platform::as_sim(procs), w.clone()))?;
+            let on = ctx.data(&req(with_gc(procs, threshold), w.clone()))?;
+            let off = ctx.data(&req(with_gc(procs, ledger_only), w.clone()))?;
+            if on.checksums != plain.checksums || off.checksums != plain.checksums {
+                return Err(
+                    "garbage collection changed the application's results".to_string()
+                );
+            }
+            // The ledger alone must be free: byte-identical execution.
+            if off.report.cycles != plain.report.cycles
+                || off.report.proc_cycles != plain.report.proc_cycles
+                || off.report.traffic != plain.report.traffic
+            {
+                return Err(format!(
+                    "the memory ledger alone changed the execution \
+                     ({} vs {} cycles): tracking is not free",
+                    off.report.cycles, plain.report.cycles
+                ));
+            }
+            let son = &on.report.dsm;
+            let soff = &off.report.dsm;
+            if soff.gc_collections != 0 {
+                return Err("the ledger-only run ran a collection".to_string());
+            }
+            if soff.live_intervals_hw == 0 || soff.cached_diff_bytes_hw == 0 {
+                return Err(
+                    "the GC-free run accumulated no consistency metadata; \
+                     the workload cannot exercise the collector"
+                        .to_string(),
+                );
+            }
+            if son.gc_collections == 0 || son.gc_intervals_retired == 0 {
+                return Err(format!(
+                    "threshold {threshold} never triggered a collection"
+                ));
+            }
+            // The point of the exercise: the collector bounds the footprint.
+            if son.cached_diff_bytes_hw >= soff.cached_diff_bytes_hw {
+                return Err(format!(
+                    "GC did not lower the diff-cache high-water mark \
+                     ({} vs {} bytes without GC)",
+                    son.cached_diff_bytes_hw, soff.cached_diff_bytes_hw
+                ));
+            }
+            if son.live_interval_bytes_hw >= soff.live_interval_bytes_hw {
+                return Err(format!(
+                    "GC did not lower the interval-store high-water mark \
+                     ({} vs {} bytes without GC)",
+                    son.live_interval_bytes_hw, soff.live_interval_bytes_hw
+                ));
+            }
+            // Collection costs messages and protocol cycles; it can never
+            // beat the free run.
+            if on.report.cycles < plain.report.cycles {
+                return Err(format!(
+                    "collection made the run faster than GC-free \
+                     ({} vs {} cycles)",
+                    on.report.cycles, plain.report.cycles
+                ));
+            }
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{label} on AS-{procs}: barrier-time GC (threshold {threshold} B/node) \
+                 vs unbounded metadata"
+            )
+            .unwrap();
+            let row = |out: &mut String, name: &str, d: &RunData| {
+                let s = &d.report.dsm;
+                writeln!(
+                    out,
+                    "  {name:<10} {:>9} time  collections={:<3} intervals retired={:<7} \
+                     peak intervals={:>9} B  peak diff cache={:>8} B",
+                    fmt_secs(d.report.seconds()),
+                    s.gc_collections,
+                    s.gc_intervals_retired,
+                    s.live_interval_bytes_hw,
+                    s.cached_diff_bytes_hw,
+                )
+                .unwrap();
+            };
+            row(&mut out, "gc off", off);
+            row(&mut out, "gc on", on);
+            writeln!(
+                out,
+                "  aggregate peak metadata: {} B without GC -> {} B with GC \
+                 ({} diff bytes retired, {} stale pages dropped, {} validated)",
+                soff.live_interval_bytes_hw + soff.cached_diff_bytes_hw,
+                son.live_interval_bytes_hw + son.cached_diff_bytes_hw,
+                son.gc_diff_bytes_retired,
+                son.gc_pages_dropped,
+                son.gc_pages_validated,
+            )
+            .unwrap();
+            Ok(out)
+        });
+        sections.push(Section::new("sor-mem", requests, render));
+    }
+
+    // The curves across machine sizes: more processors close more intervals
+    // per barrier, so the GC-free footprint grows while the collected one
+    // stays bounded.
+    {
+        let w = w.clone();
+        let procs_list = procs_list.clone();
+        let mut requests = Vec::new();
+        for &p in &procs_list {
+            requests.push(req(with_gc(p, threshold), w.clone()));
+            requests.push(req(with_gc(p, ledger_only), w.clone()));
+        }
+        let render: Render = Box::new(move |ctx| {
+            let peak =
+                |s: &tmk_core::NodeStats| s.live_interval_bytes_hw + s.cached_diff_bytes_hw;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{label}: aggregate metadata high-water marks as the AS design scales"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  {:<6} {:>10} {:>10} {:>6} {:>18} {:>18}",
+                "", "gc-on", "gc-off", "colls", "peak meta gc-on", "peak meta gc-off"
+            )
+            .unwrap();
+            for &p in &procs_list {
+                let on = ctx.data(&req(with_gc(p, threshold), w.clone()))?;
+                let off = ctx.data(&req(with_gc(p, ledger_only), w.clone()))?;
+                if on.checksums != off.checksums {
+                    return Err(format!(
+                        "AS-{p}: garbage collection changed the application's results"
+                    ));
+                }
+                let son = &on.report.dsm;
+                let soff = &off.report.dsm;
+                if son.gc_collections == 0 {
+                    return Err(format!("AS-{p}: no collections at threshold {threshold}"));
+                }
+                if peak(son) >= peak(soff) {
+                    return Err(format!(
+                        "AS-{p}: GC-on peak metadata ({} B) is not below GC-free ({} B)",
+                        peak(son),
+                        peak(soff)
+                    ));
+                }
+                writeln!(
+                    out,
+                    "  AS-{p:<3} {:>10} {:>10} {:>6} {:>16} B {:>16} B",
+                    fmt_secs(on.report.seconds()),
+                    fmt_secs(off.report.seconds()),
+                    son.gc_collections,
+                    peak(son),
+                    peak(soff),
+                )
+                .unwrap();
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("as-scale", requests, render));
+    }
+
+    Experiment {
+        id: "scaling",
+        title: "barrier-time garbage collection: bounded metadata, unchanged results",
+        default: true,
+        header: Some(
+            "Barrier-time GC sweep on the AS design: the same SOR run with the \
+             collector armed\nand with metadata left to accumulate. Correct runs \
+             keep application results\nbit-identical and the collected footprint \
+             strictly below the GC-free high water.\n"
+                .to_string(),
+        ),
+        sections,
+    }
+}
+
 fn calibrate(tier: Tier) -> Experiment {
     let quick = tier == Tier::Quick;
     let apps: Vec<(&'static str, Vec<(&'static str, WorkloadSpec)>)> = if quick {
@@ -1873,6 +2097,7 @@ pub fn registry(tier: Tier) -> Vec<Experiment> {
         ablations(tier),
         chaos(tier),
         breakdown(tier),
+        scaling(tier),
         calibrate(tier),
     ]
 }

@@ -175,4 +175,61 @@ mod tests {
         let d = Diff::compute(&twin, &cur);
         assert_eq!(d.wire_bytes(), 4 + 2 * 8 + 2 * WORD);
     }
+
+    /// Boundary audit: runs that touch without sharing a word are not a
+    /// write-write race. `[4, 12)` ends exactly where `[12, 16)` begins.
+    #[test]
+    fn touching_runs_do_not_overlap() {
+        let base = page(&[0; 8]);
+        let mut a = base.clone();
+        a[4..12].copy_from_slice(&page(&[7, 7]));
+        let mut b = base.clone();
+        b[12..16].copy_from_slice(&9u32.to_le_bytes());
+        let da = Diff::compute(&base, &a);
+        let db = Diff::compute(&base, &b);
+        assert!(!da.overlaps(&db), "touching runs are not overlapping");
+        assert!(!db.overlaps(&da), "overlap must be symmetric");
+        // Shift b's run one word left so the ranges share word 2: overlap.
+        let mut c = base.clone();
+        c[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let dc = Diff::compute(&base, &c);
+        assert!(da.overlaps(&dc));
+        assert!(dc.overlaps(&da));
+    }
+
+    /// Boundary audit: the empty diff overlaps nothing (including itself)
+    /// and costs exactly its run-count header on the wire.
+    #[test]
+    fn empty_diff_overlaps_nothing_and_has_header_only_wire_size() {
+        let a = page(&[1, 2, 3, 4]);
+        let empty = Diff::compute(&a, &a);
+        let mut b = a.clone();
+        b[0..4].copy_from_slice(&9u32.to_le_bytes());
+        let full = Diff::compute(&a, &b);
+        assert!(!empty.overlaps(&empty));
+        assert!(!empty.overlaps(&full));
+        assert!(!full.overlaps(&empty));
+        assert_eq!(empty.wire_bytes(), 4);
+        assert_eq!(empty.run_count(), 0);
+    }
+
+    /// Boundary audit: first-word and last-word runs survive a diff/apply
+    /// round trip and are detected at the page edges.
+    #[test]
+    fn page_edge_runs_round_trip() {
+        let twin = page(&[0; 4]);
+        let cur = page(&[5, 0, 0, 6]);
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.run_count(), 2);
+        assert_eq!(d.data_bytes(), 2 * WORD);
+        let mut buf = twin.clone();
+        d.apply(&mut buf);
+        assert_eq!(buf, cur);
+        // Whole-page change: one run covering everything.
+        let all = page(&[9, 9, 9, 9]);
+        let d = Diff::compute(&twin, &all);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.data_bytes(), 4 * WORD);
+        assert_eq!(d.wire_bytes(), 4 + 8 + 4 * WORD);
+    }
 }

@@ -4,7 +4,8 @@
 //! (lock releases and barrier arrivals). Each interval carries the set of
 //! pages the node dirtied during it — the *write notices* — plus the vector
 //! time at which it closed. A node's interval store holds every interval it
-//! has learned about, from any node.
+//! has learned about, from any node, until barrier-time garbage collection
+//! retires the prefix every node's vector time dominates.
 
 use crate::{NodeId, PageId, Seq, VTime};
 
@@ -19,11 +20,29 @@ pub struct IntervalMsg {
     /// The creator's vector time when the interval closed (with
     /// `vt.get(node) == seq`).
     pub vt: VTime,
-    /// Pages dirtied during the interval (the write notices).
+    /// Pages dirtied during the interval (the write notices), ascending.
     pub pages: Vec<PageId>,
+    /// Cached count of maximal consecutive-page runs in `pages`, computed
+    /// once at construction: `wire_bytes` is consulted per hop on hot
+    /// paths, so the run-length scan must not repeat per call.
+    runs: usize,
 }
 
 impl IntervalMsg {
+    /// Builds an interval message, sorting the write notices and counting
+    /// their consecutive runs once.
+    pub fn new(node: NodeId, seq: Seq, vt: VTime, mut pages: Vec<PageId>) -> Self {
+        pages.sort_unstable();
+        let runs = count_runs(&pages);
+        IntervalMsg {
+            node,
+            seq,
+            vt,
+            pages,
+            runs,
+        }
+    }
+
     /// Wire size: ids + vector time + run-length-encoded write notices
     /// (consecutive page numbers collapse to `(start, len)` pairs, the
     /// natural encoding for band-partitioned applications like SOR).
@@ -31,20 +50,23 @@ impl IntervalMsg {
         8 + self.vt.wire_bytes() + 8 * self.notice_runs()
     }
 
-    /// Number of maximal runs of consecutive page ids.
+    /// Number of maximal runs of consecutive page ids (cached).
     pub fn notice_runs(&self) -> usize {
-        let mut sorted: Vec<PageId> = self.pages.clone();
-        sorted.sort_unstable();
-        let mut runs = 0;
-        let mut prev: Option<PageId> = None;
-        for &p in &sorted {
-            if prev != Some(p.wrapping_sub(1)) {
-                runs += 1;
-            }
-            prev = Some(p);
-        }
-        runs
+        self.runs
     }
+}
+
+/// Counts maximal runs of consecutive page ids in an ascending slice.
+fn count_runs(sorted: &[PageId]) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<PageId> = None;
+    for &p in sorted {
+        if prev != Some(p.wrapping_sub(1)) {
+            runs += 1;
+        }
+        prev = Some(p);
+    }
+    runs
 }
 
 /// One node's record of a (possibly remote) interval.
@@ -52,19 +74,31 @@ impl IntervalMsg {
 pub struct IntervalRec {
     /// Closing vector time.
     pub vt: VTime,
-    /// Pages dirtied.
+    /// Pages dirtied (ascending; inserted from sorted wire messages).
     pub pages: Vec<PageId>,
+}
+
+fn rec_bytes(rec: &IntervalRec) -> usize {
+    16 + rec.vt.wire_bytes() + rec.pages.len() * 8
 }
 
 /// All intervals a node knows about, indexed by `(creator, seq)`.
 ///
-/// Per creator, intervals are stored densely: position `i` holds sequence
-/// number `i + 1`. Lazy release consistency guarantees intervals are learned
-/// contiguously (a grant or barrier departure carries exactly the gap
-/// between two vector times), which [`insert`](Self::insert) asserts.
+/// Per creator, intervals are stored densely above a garbage-collection
+/// floor: position `i` holds sequence number `retired + i + 1`. Lazy release
+/// consistency guarantees intervals are learned contiguously (a grant or
+/// barrier departure carries exactly the gap between two vector times),
+/// which [`insert`](Self::insert) asserts. [`retire_below`](Self::retire_below)
+/// advances the floor at barrier-time GC.
 #[derive(Debug, Clone, Default)]
 pub struct IntervalStore {
     by_node: Vec<Vec<IntervalRec>>,
+    /// Per creator: highest retired sequence (records `<= retired[q]` are
+    /// gone; lookups below the floor return `None`).
+    retired: Vec<Seq>,
+    /// Approximate resident bytes of the live records, maintained
+    /// incrementally for the memory ledger and the GC trigger.
+    bytes: usize,
 }
 
 impl IntervalStore {
@@ -72,18 +106,28 @@ impl IntervalStore {
     pub fn new(n: usize) -> Self {
         IntervalStore {
             by_node: vec![Vec::new(); n],
+            retired: vec![0; n],
+            bytes: 0,
         }
     }
 
     /// Highest sequence number known for `node` (0 when none).
     pub fn frontier(&self, node: NodeId) -> Seq {
-        self.by_node[node].len() as Seq
+        self.retired[node] + self.by_node[node].len() as Seq
     }
 
-    /// Looks up interval `(node, seq)`.
+    /// Highest retired (garbage-collected) sequence for `node`.
+    pub fn floor(&self, node: NodeId) -> Seq {
+        self.retired[node]
+    }
+
+    /// Looks up interval `(node, seq)`. Returns `None` below the GC floor.
     pub fn get(&self, node: NodeId, seq: Seq) -> Option<&IntervalRec> {
         debug_assert!(seq >= 1);
-        self.by_node[node].get(seq as usize - 1)
+        if seq <= self.retired[node] {
+            return None;
+        }
+        self.by_node[node].get((seq - self.retired[node]) as usize - 1)
     }
 
     /// Records an interval learned from the wire (idempotent: re-delivery of
@@ -107,41 +151,68 @@ impl IntervalStore {
             have,
             msg.seq
         );
-        self.by_node[msg.node].push(IntervalRec {
+        let rec = IntervalRec {
             vt: msg.vt.clone(),
             pages: msg.pages.clone(),
-        });
+        };
+        self.bytes += rec_bytes(&rec);
+        self.by_node[msg.node].push(rec);
     }
 
     /// Records an interval this node itself just closed.
     pub fn record_own(&mut self, node: NodeId, seq: Seq, vt: VTime, pages: Vec<PageId>) {
         assert_eq!(seq, self.frontier(node) + 1, "own interval out of order");
-        self.by_node[node].push(IntervalRec { vt, pages });
+        let rec = IntervalRec { vt, pages };
+        self.bytes += rec_bytes(&rec);
+        self.by_node[node].push(rec);
     }
 
     /// All intervals covered by `upto` but not by `from`, as wire messages —
-    /// exactly what a lock grant or barrier departure must carry.
+    /// exactly what a lock grant or barrier departure must carry. Retired
+    /// sequences are never delivered (every node's time already dominates
+    /// them, so no correct request can span below the floor).
     pub fn between(&self, from: &VTime, upto: &VTime) -> Vec<IntervalMsg> {
         let mut out = Vec::new();
         for q in 0..self.by_node.len() {
-            let lo = from.get(q);
+            let lo = from.get(q).max(self.retired[q]);
             let hi = upto.get(q).min(self.frontier(q));
             for seq in (lo + 1)..=hi {
-                let rec = &self.by_node[q][seq as usize - 1];
-                out.push(IntervalMsg {
-                    node: q,
-                    seq,
-                    vt: rec.vt.clone(),
-                    pages: rec.pages.clone(),
-                });
+                let rec = &self.by_node[q][(seq - self.retired[q]) as usize - 1];
+                out.push(IntervalMsg::new(q, seq, rec.vt.clone(), rec.pages.clone()));
             }
         }
         out
     }
 
-    /// Total number of stored intervals.
+    /// Retires every record at or below `floor`, advancing the per-creator
+    /// GC floors. Returns `(records retired, approximate bytes reclaimed)`.
+    pub fn retire_below(&mut self, floor: &VTime) -> (u64, u64) {
+        let mut records = 0u64;
+        let mut freed = 0u64;
+        for q in 0..self.by_node.len() {
+            let cut = (floor.get(q).saturating_sub(self.retired[q]) as usize)
+                .min(self.by_node[q].len());
+            if cut == 0 {
+                continue;
+            }
+            for rec in self.by_node[q].drain(..cut) {
+                freed += rec_bytes(&rec) as u64;
+            }
+            records += cut as u64;
+            self.retired[q] += cut as Seq;
+        }
+        self.bytes -= freed as usize;
+        (records, freed)
+    }
+
+    /// Total number of live (unretired) intervals.
     pub fn len(&self) -> usize {
         self.by_node.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate resident bytes of the live interval records.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
     }
 
     /// True when no intervals are stored.
@@ -157,12 +228,7 @@ mod tests {
     fn msg(node: NodeId, seq: Seq, n: usize, pages: &[PageId]) -> IntervalMsg {
         let mut vt = VTime::zero(n);
         vt.set(node, seq);
-        IntervalMsg {
-            node,
-            seq,
-            vt,
-            pages: pages.to_vec(),
-        }
+        IntervalMsg::new(node, seq, vt, pages.to_vec())
     }
 
     #[test]
@@ -207,5 +273,101 @@ mod tests {
         assert_eq!(m.wire_bytes(), 8 + 16 + 24);
         let m = msg(0, 1, 4, &[]);
         assert_eq!(m.wire_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn notice_runs_sorts_at_construction() {
+        // Out-of-order first-write order must not inflate the run count.
+        let m = msg(0, 1, 4, &[5, 3, 4, 1, 2]);
+        assert_eq!(m.pages, vec![1, 2, 3, 4, 5]);
+        assert_eq!(m.notice_runs(), 1);
+        assert_eq!(m.wire_bytes(), 8 + 16 + 8);
+    }
+
+    /// Regression for the hot-path fix: the cached run count must agree
+    /// with a from-scratch scan for arbitrary page sets, so wire-byte
+    /// accounting is unchanged by the caching.
+    #[test]
+    fn cached_runs_match_reference_scan() {
+        let cases: Vec<Vec<PageId>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 1, 2, 3],
+            vec![9, 1, 5, 2, 7, 0],
+            vec![4, 4, 5], // duplicates collapse into the same run
+            vec![10, 12, 14, 15, 16, 20],
+        ];
+        for pages in cases {
+            let m = msg(0, 1, 4, &pages);
+            let mut sorted = pages.clone();
+            sorted.sort_unstable();
+            let mut runs = 0;
+            let mut prev: Option<PageId> = None;
+            for &p in &sorted {
+                if prev != Some(p.wrapping_sub(1)) {
+                    runs += 1;
+                }
+                prev = Some(p);
+            }
+            assert_eq!(m.notice_runs(), runs, "pages {pages:?}");
+            assert_eq!(m.wire_bytes(), 8 + 16 + 8 * runs);
+        }
+    }
+
+    #[test]
+    fn retire_below_advances_floor_and_clamps_queries() {
+        let mut s = IntervalStore::new(2);
+        for seq in 1..=4 {
+            s.insert(&msg(0, seq, 2, &[seq as PageId]));
+        }
+        s.insert(&msg(1, 1, 2, &[9]));
+        let before = s.approx_bytes();
+        assert_eq!(s.len(), 5);
+
+        let mut floor = VTime::zero(2);
+        floor.set(0, 2);
+        let (records, freed) = s.retire_below(&floor);
+        assert_eq!(records, 2);
+        assert!(freed > 0);
+        assert_eq!(s.approx_bytes(), before - freed as usize);
+
+        // Retired sequences are gone; the frontier is unchanged.
+        assert_eq!(s.floor(0), 2);
+        assert_eq!(s.frontier(0), 4);
+        assert!(s.get(0, 1).is_none());
+        assert!(s.get(0, 2).is_none());
+        assert_eq!(s.get(0, 3).unwrap().pages, vec![3]);
+        assert_eq!(s.len(), 3);
+
+        // between() never resurrects retired intervals even when asked from
+        // a stale lower bound.
+        let from = VTime::zero(2);
+        let mut upto = VTime::zero(2);
+        upto.set(0, 4);
+        let keys: Vec<_> = s.between(&from, &upto).iter().map(|m| m.seq).collect();
+        assert_eq!(keys, vec![3, 4]);
+
+        // Inserting continues above the frontier; re-delivery of a retired
+        // sequence is still idempotent.
+        s.insert(&msg(0, 2, 2, &[2]));
+        assert_eq!(s.frontier(0), 4);
+        s.insert(&msg(0, 5, 2, &[5]));
+        assert_eq!(s.frontier(0), 5);
+        assert_eq!(s.get(0, 5).unwrap().pages, vec![5]);
+    }
+
+    #[test]
+    fn retire_everything_empties_the_store() {
+        let mut s = IntervalStore::new(2);
+        s.insert(&msg(0, 1, 2, &[1]));
+        s.insert(&msg(1, 1, 2, &[2]));
+        let mut floor = VTime::zero(2);
+        floor.set(0, 1);
+        floor.set(1, 1);
+        let (records, _) = s.retire_below(&floor);
+        assert_eq!(records, 2);
+        assert!(s.is_empty());
+        assert_eq!(s.approx_bytes(), 0);
+        assert_eq!(s.frontier(0), 1, "frontier survives retirement");
     }
 }

@@ -386,6 +386,7 @@ impl IvyNode {
                         barrier,
                         vt: VTime::zero(self.cfg.nodes),
                         intervals: Vec::new(),
+                        gc_wanted: false,
                     },
                 }],
             }
@@ -412,6 +413,7 @@ impl IvyNode {
                     barrier,
                     vt: VTime::zero(self.cfg.nodes),
                     intervals: Vec::new(),
+                    gc: false,
                 },
             })
             .collect()

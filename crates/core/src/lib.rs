@@ -131,6 +131,14 @@ pub struct Config {
     pub eager_all: bool,
     /// Locks that use [`ReleaseMode::Eager`] even when `eager_all` is off.
     pub eager_locks: Vec<LockId>,
+    /// Barrier-time garbage collection threshold in bytes of consistency
+    /// metadata (live interval records + cached diffs). When a node's
+    /// footprint reaches the threshold it requests a collection at its next
+    /// barrier arrival; the whole cluster then retires everything below the
+    /// barrier's vector time (TreadMarks' GC, Keleher et al. USENIX'94).
+    /// `None` disables GC *and* the memory ledger entirely;
+    /// `Some(u64::MAX)` tracks the ledger without ever collecting.
+    pub gc: Option<u64>,
 }
 
 impl Config {
@@ -145,7 +153,15 @@ impl Config {
             header_bytes: 32,
             eager_all: false,
             eager_locks: Vec::new(),
+            gc: None,
         }
+    }
+
+    /// Enables barrier-time garbage collection once a node's consistency
+    /// metadata reaches `threshold_bytes` (see [`Config::gc`]).
+    pub fn gc(mut self, threshold_bytes: u64) -> Self {
+        self.gc = Some(threshold_bytes);
+        self
     }
 
     /// Sets the page size in bytes.

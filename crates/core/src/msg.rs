@@ -112,6 +112,10 @@ pub enum Msg {
         vt: VTime,
         /// Arriver's own intervals the manager may not have.
         intervals: Vec<IntervalMsg>,
+        /// The arriver's consistency metadata reached its GC threshold: it
+        /// asks the manager to piggyback a garbage collection on this
+        /// barrier. A flag bit in the header; no extra payload bytes.
+        gc_wanted: bool,
     },
     /// Barrier departure from the manager, carrying everything the
     /// destination is missing.
@@ -122,6 +126,20 @@ pub enum Msg {
         vt: VTime,
         /// Intervals the destination has not seen.
         intervals: Vec<IntervalMsg>,
+        /// Garbage-collect this barrier: after integrating, retire all
+        /// metadata below the departure time `vt` (every node's time equals
+        /// it once the barrier completes, so everything at or below it is
+        /// globally known). The barrier is only done once [`Msg::GcDone`]
+        /// arrives. A flag bit in the header; no extra payload bytes.
+        gc: bool,
+    },
+    /// Broadcast by the origin node once it has validated its page copies
+    /// against the history being retired (TreadMarks' "validate pages at
+    /// GC"): receivers perform their local collection and complete the
+    /// barrier.
+    GcDone {
+        /// The barrier the collection was piggybacked on.
+        barrier: BarrierId,
     },
     /// Request for a full page copy (first access to a page).
     PageReq {
@@ -220,7 +238,9 @@ impl Msg {
             | Msg::LockForward { .. }
             | Msg::LockGrant { .. }
             | Msg::IvyRelease { .. } => MsgClass::SyncLock,
-            Msg::BarrierArrive { .. } | Msg::BarrierDepart { .. } => MsgClass::SyncBarrier,
+            Msg::BarrierArrive { .. } | Msg::BarrierDepart { .. } | Msg::GcDone { .. } => {
+                MsgClass::SyncBarrier
+            }
             Msg::PageReq { .. }
             | Msg::PageReply { .. }
             | Msg::DiffReq { .. }
@@ -251,6 +271,10 @@ impl Msg {
             | Msg::BarrierDepart { vt, intervals, .. } => BodyBytes {
                 miss: 0,
                 consistency: 8 + vt.wire_bytes() + intervals_bytes(intervals),
+            },
+            Msg::GcDone { .. } => BodyBytes {
+                miss: 0,
+                consistency: 8,
             },
             Msg::PageReq { .. } => BodyBytes {
                 miss: 8,
@@ -317,11 +341,33 @@ mod tests {
             Msg::BarrierArrive {
                 barrier: 0,
                 vt,
-                intervals: vec![]
+                intervals: vec![],
+                gc_wanted: false
             }
             .class(),
             MsgClass::SyncBarrier
         );
+        assert_eq!(Msg::GcDone { barrier: 0 }.class(), MsgClass::SyncBarrier);
+    }
+
+    #[test]
+    fn gc_flags_cost_no_payload_bytes() {
+        // The GC request and floor ride as header flag bits, so GC-off and
+        // GC-on runs account identical consistency bytes per barrier hop.
+        let vt = VTime::zero(4);
+        let off = Msg::BarrierDepart {
+            barrier: 0,
+            vt: vt.clone(),
+            intervals: vec![],
+            gc: false,
+        };
+        let on = Msg::BarrierDepart {
+            barrier: 0,
+            vt,
+            intervals: vec![],
+            gc: true,
+        };
+        assert_eq!(off.body_bytes(), on.body_bytes());
     }
 
     #[test]

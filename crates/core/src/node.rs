@@ -59,6 +59,24 @@ struct LockView {
 struct BarrierState {
     /// Arrivals recorded at the manager: `(node, arrival vt)`.
     arrivals: Vec<(NodeId, VTime)>,
+    /// At least one arriver's metadata reached its GC threshold, so this
+    /// barrier piggybacks a garbage collection.
+    gc_wanted: bool,
+}
+
+/// An in-progress barrier-time garbage collection on this node (from the
+/// GC-flagged departure until the local collection runs).
+#[derive(Debug, Clone)]
+struct GcState {
+    /// The barrier the collection is piggybacked on.
+    barrier: BarrierId,
+    /// Retirement floor: the barrier's departure vector time. Every node's
+    /// time equals it once the barrier completes, so all intervals at or
+    /// below it are globally known and replayable nowhere else.
+    floor: VTime,
+    /// Pages the origin is still validating (fetching outstanding diffs
+    /// for); zero on non-origin nodes.
+    validating: usize,
 }
 
 /// One node's complete protocol state.
@@ -77,6 +95,14 @@ pub struct Node {
     barriers: HashMap<BarrierId, BarrierState>,
     /// Own interval sequence already reported to barrier managers.
     last_reported: Seq,
+    /// In-progress barrier-time garbage collection, if any.
+    gc: Option<GcState>,
+    /// A `GcDone` that overtook its `BarrierDepart` (possible under
+    /// network-fault delays); consumed when the departure arrives.
+    pending_gc_done: Option<BarrierId>,
+    /// Wire bytes of diffs currently cached in `pages[*].my_diffs`
+    /// (maintained incrementally; part of the GC trigger and the ledger).
+    cached_diff_bytes: u64,
     stats: NodeStats,
 }
 
@@ -156,6 +182,9 @@ impl Node {
             mgr_last: HashMap::new(),
             barriers: HashMap::new(),
             last_reported: 0,
+            gc: None,
+            pending_gc_done: None,
+            cached_diff_bytes: 0,
             stats: NodeStats::default(),
             cfg,
         }
@@ -400,6 +429,7 @@ impl Node {
             base: None,
             diffs: Vec::new(),
             want_write: write,
+            gc: false,
         };
         self.pages[page].fetch = Some(fetch);
         let sends = self.issue_fetch_requests(page);
@@ -472,6 +502,7 @@ impl Node {
             return out;
         }
         let want_write = fetch.want_write;
+        let was_gc = fetch.gc;
         let base = fetch.base.take();
         let mut diffs = std::mem::take(&mut fetch.diffs);
 
@@ -500,10 +531,24 @@ impl Node {
 
         if self.pages[page].is_valid() {
             self.pages[page].fetch = None;
-            if want_write {
-                self.begin_write(page);
+            if was_gc {
+                // A GC validation fetch: no processor is blocked on it. When
+                // the last one lands, the origin collects and releases the
+                // cluster.
+                let gs = self.gc.as_mut().expect("GC fetch without a GC");
+                gs.validating -= 1;
+                if gs.validating == 0 {
+                    let barrier = gs.barrier;
+                    self.gc_local_collect();
+                    out.sends.extend(self.gc_done_broadcast(barrier));
+                    out.actions.push(Action::BarrierDone(barrier));
+                }
+            } else {
+                if want_write {
+                    self.begin_write(page);
+                }
+                out.actions.push(Action::PageReady(page));
             }
-            out.actions.push(Action::PageReady(page));
         } else {
             // New write notices arrived while we were fetching; go again.
             out.sends = self.issue_fetch_requests(page);
@@ -536,14 +581,14 @@ impl Node {
             p.mark_applied(self.id, seq);
         }
         self.stats.intervals_closed += 1;
+        // Build the message first: its constructor sorts the notices, so the
+        // store records them sorted too and later reconstructions
+        // ([`IntervalStore::between`]) produce identical wire messages.
+        let msg = IntervalMsg::new(self.id, seq, self.vt.clone(), pages);
         self.store
-            .record_own(self.id, seq, self.vt.clone(), pages.clone());
-        Some(IntervalMsg {
-            node: self.id,
-            seq,
-            vt: self.vt.clone(),
-            pages,
-        })
+            .record_own(self.id, seq, msg.vt.clone(), msg.pages.clone());
+        self.ledger_note();
+        Some(msg)
     }
 
     /// Inserts a received interval, registering its write notices.
@@ -556,6 +601,7 @@ impl Node {
             self.pages[page].add_notice(msg.node, msg.seq);
             self.stats.notices_received += 1;
         }
+        self.ledger_note();
     }
 
     /// Merges the vector times of received intervals into our own.
@@ -638,8 +684,10 @@ impl Node {
         let diff = Diff::compute(&twin, data);
         self.stats.diffs_created += 1;
         self.stats.diff_bytes_created += diff.data_bytes() as u64;
+        self.cached_diff_bytes += diff.wire_bytes() as u64;
         p.my_diffs.push((seq, diff));
         p.undiffed.clear();
+        self.ledger_note();
         true
     }
 
@@ -709,13 +757,17 @@ impl Node {
         // The arriver reports its own intervals not yet shipped to a manager.
         let my_new = self.own_intervals_since(self.last_reported);
         self.last_reported = self.vt.get(self.id);
+        // Ask for a piggybacked GC when our metadata reached the threshold.
+        let gc_wanted = self.cfg.nodes > 1 && self.cfg.gc.is_some_and(|t| self.metadata_bytes() >= t);
         if mgr == self.id {
-            let done = self.record_arrival(barrier, self.id, self.vt.clone());
+            let done = self.record_arrival(barrier, self.id, self.vt.clone(), gc_wanted);
             if done {
                 let mut sends = Vec::new();
                 let done_now = self.depart(barrier, &mut sends);
-                debug_assert!(done_now);
-                FaultStart { ready: true, sends }
+                FaultStart {
+                    ready: done_now,
+                    sends,
+                }
             } else {
                 FaultStart {
                     ready: false,
@@ -732,6 +784,7 @@ impl Node {
                         barrier,
                         vt: self.vt.clone(),
                         intervals: my_new,
+                        gc_wanted,
                     },
                 }],
             }
@@ -742,29 +795,38 @@ impl Node {
         let mut out = Vec::new();
         for seq in (from + 1)..=self.vt.get(self.id) {
             let rec = self.store.get(self.id, seq).expect("own interval recorded");
-            out.push(IntervalMsg {
-                node: self.id,
+            out.push(IntervalMsg::new(
+                self.id,
                 seq,
-                vt: rec.vt.clone(),
-                pages: rec.pages.clone(),
-            });
+                rec.vt.clone(),
+                rec.pages.clone(),
+            ));
         }
         out
     }
 
     /// Records an arrival at the manager; true when all nodes have arrived.
-    fn record_arrival(&mut self, barrier: BarrierId, node: NodeId, vt: VTime) -> bool {
+    fn record_arrival(
+        &mut self,
+        barrier: BarrierId,
+        node: NodeId,
+        vt: VTime,
+        gc_wanted: bool,
+    ) -> bool {
         let n = self.cfg.nodes;
         let st = self.barriers.entry(barrier).or_default();
         debug_assert!(st.arrivals.iter().all(|&(q, _)| q != node));
         st.arrivals.push((node, vt));
+        st.gc_wanted |= gc_wanted;
         st.arrivals.len() == n
     }
 
     /// Issues departures; returns whether the *manager's own* barrier is
-    /// done (always true — the manager departs locally).
+    /// done (true unless a garbage collection was piggybacked — then the
+    /// manager, like everyone, completes when the collection does).
     fn depart(&mut self, barrier: BarrierId, sends: &mut Vec<Envelope>) -> bool {
         let st = self.barriers.remove(&barrier).expect("departing barrier");
+        let do_gc = st.gc_wanted;
         let mut dvt = self.vt.clone();
         for (_, vt) in &st.arrivals {
             dvt.merge(vt);
@@ -781,11 +843,171 @@ impl Node {
                     barrier,
                     vt: dvt.clone(),
                     intervals,
+                    gc: do_gc,
                 },
             });
         }
         self.vt.merge(&dvt);
-        true
+        if do_gc {
+            self.begin_gc(barrier, dvt, sends)
+        } else {
+            true
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier-time garbage collection (Keleher et al., USENIX'94 §GC)
+    // ------------------------------------------------------------------
+
+    /// Bytes of consistency metadata resident on this node (live interval
+    /// records plus cached diffs) — the quantity the GC threshold bounds.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.store.approx_bytes() as u64 + self.cached_diff_bytes
+    }
+
+    /// Refreshes the memory-ledger gauges and high-water marks. Only active
+    /// when GC (or ledger-only tracking) is configured, so reports from
+    /// pre-ledger configurations stay byte-identical.
+    fn ledger_note(&mut self) {
+        if self.cfg.gc.is_none() {
+            return;
+        }
+        let s = &mut self.stats;
+        s.live_intervals = self.store.len() as u64;
+        s.live_interval_bytes = self.store.approx_bytes() as u64;
+        s.cached_diff_bytes = self.cached_diff_bytes;
+        s.live_intervals_hw = s.live_intervals_hw.max(s.live_intervals);
+        s.live_interval_bytes_hw = s.live_interval_bytes_hw.max(s.live_interval_bytes);
+        s.cached_diff_bytes_hw = s.cached_diff_bytes_hw.max(s.cached_diff_bytes);
+    }
+
+    /// Starts this node's part of a piggybacked collection with the given
+    /// retirement floor. Returns whether the barrier is already complete
+    /// for this node (only possible on an origin with nothing to validate).
+    ///
+    /// The origin first *validates* its copies — fetches every diff its
+    /// pages are still missing — because it serves all post-GC full-page
+    /// fetches and the diffs that would otherwise bring a stale copy
+    /// current are about to be retired cluster-wide. Everyone else waits
+    /// for the origin's [`Msg::GcDone`].
+    fn begin_gc(&mut self, barrier: BarrierId, floor: VTime, sends: &mut Vec<Envelope>) -> bool {
+        debug_assert!(self.gc.is_none(), "overlapping GC episodes");
+        debug_assert_eq!(self.vt, floor, "GC floor must be the departure time");
+        self.gc = Some(GcState {
+            barrier,
+            floor,
+            validating: 0,
+        });
+        if self.id != ORIGIN {
+            return false;
+        }
+        let mut validating = 0;
+        for page in 0..self.cfg.segment_pages {
+            if self.pages[page].pending.iter().all(Vec::is_empty) {
+                continue;
+            }
+            // A never-touched origin page still starts from the zero base.
+            self.origin_page_data(page);
+            debug_assert!(self.pages[page].fetch.is_none(), "GC with a fault in flight");
+            self.pages[page].fetch = Some(FetchState {
+                outstanding: 0,
+                base: None,
+                diffs: Vec::new(),
+                want_write: false,
+                gc: true,
+            });
+            let reqs = self.issue_fetch_requests(page);
+            debug_assert!(!reqs.is_empty(), "pending page must need diffs");
+            sends.extend(reqs);
+            self.stats.gc_pages_validated += 1;
+            validating += 1;
+        }
+        if validating == 0 {
+            self.gc_local_collect();
+            sends.extend(self.gc_done_broadcast(barrier));
+            return true;
+        }
+        self.gc.as_mut().expect("just set").validating = validating;
+        false
+    }
+
+    /// The origin's end-of-validation broadcast.
+    fn gc_done_broadcast(&self, barrier: BarrierId) -> Vec<Envelope> {
+        debug_assert_eq!(self.id, ORIGIN);
+        (0..self.cfg.nodes)
+            .filter(|&q| q != self.id)
+            .map(|q| Envelope {
+                from: self.id,
+                to: q,
+                msg: Msg::GcDone { barrier },
+            })
+            .collect()
+    }
+
+    /// Retires everything at or below the floor: interval records, cached
+    /// diffs, twins, and page copies that still awaited retired diffs
+    /// (validated origin copies are current and stay).
+    fn gc_local_collect(&mut self) {
+        let gc = self.gc.take().expect("collection without a GC in progress");
+        let me = self.id;
+        let (records, _) = self.store.retire_below(&gc.floor);
+        self.stats.gc_collections += 1;
+        self.stats.gc_intervals_retired += records;
+        for p in &mut self.pages {
+            debug_assert!(!p.open_dirty, "GC with an open write interval");
+            debug_assert!(p.fetch.is_none(), "GC with a fetch in flight");
+            // Every cached diff describes a now-retired interval: no
+            // correct request can ask for it again.
+            for (s, d) in p.my_diffs.drain(..) {
+                debug_assert!(s <= gc.floor.get(me), "diff above the GC floor");
+                let b = d.wire_bytes() as u64;
+                self.stats.gc_diffs_retired += 1;
+                self.stats.gc_diff_bytes_retired += b;
+                self.cached_diff_bytes -= b;
+            }
+            // Undiffed own intervals are retired too; with no open writes
+            // the twin's only purpose was to serve them.
+            p.undiffed.clear();
+            p.twin = None;
+            // A copy still awaiting retired diffs can never be brought
+            // current: drop it, so the next fault fetches a whole page from
+            // the validated origin.
+            if p.pending.iter().any(|v| !v.is_empty()) {
+                debug_assert_ne!(me, ORIGIN, "origin pages are validated before GC");
+                debug_assert!(p
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .all(|(q, v)| v.iter().all(|&s| s <= gc.floor.get(q))));
+                if p.data.take().is_some() {
+                    self.stats.gc_pages_dropped += 1;
+                }
+                for v in &mut p.pending {
+                    v.clear();
+                }
+            }
+        }
+        self.ledger_note();
+    }
+
+    /// The origin finished validating: run our local collection and
+    /// complete the barrier.
+    fn on_gc_done(&mut self, barrier: BarrierId) -> Handled {
+        let Some(gc) = self.gc.as_ref() else {
+            // The departure carrying the GC flag is still in flight (a
+            // delayed message overtaken by the origin's broadcast); note
+            // the completion for when it lands.
+            debug_assert!(self.pending_gc_done.is_none());
+            self.pending_gc_done = Some(barrier);
+            return Handled::default();
+        };
+        debug_assert_eq!(gc.barrier, barrier);
+        debug_assert_ne!(self.id, ORIGIN, "the origin completes via validation");
+        self.gc_local_collect();
+        Handled {
+            sends: Vec::new(),
+            actions: vec![Action::BarrierDone(barrier)],
+        }
     }
 
     // ------------------------------------------------------------------
@@ -812,12 +1034,15 @@ impl Node {
                 barrier,
                 vt,
                 intervals,
-            } => self.on_barrier_arrive(barrier, from, vt, intervals),
+                gc_wanted,
+            } => self.on_barrier_arrive(barrier, from, vt, intervals, gc_wanted),
             Msg::BarrierDepart {
                 barrier,
                 vt,
                 intervals,
-            } => self.on_barrier_depart(barrier, vt, intervals),
+                gc,
+            } => self.on_barrier_depart(barrier, vt, intervals, gc),
+            Msg::GcDone { barrier } => self.on_gc_done(barrier),
             Msg::PageReq { page } => self.on_page_req(page, from),
             Msg::PageReply {
                 page,
@@ -903,15 +1128,15 @@ impl Node {
         from: NodeId,
         vt: VTime,
         intervals: Vec<IntervalMsg>,
+        gc_wanted: bool,
     ) -> Handled {
         debug_assert_eq!(self.cfg.barrier_manager(barrier), self.id);
         for m in &intervals {
             self.integrate_interval(m);
         }
-        let all_in = self.record_arrival(barrier, from, vt);
+        let all_in = self.record_arrival(barrier, from, vt, gc_wanted);
         let mut out = Handled::default();
-        if all_in {
-            self.depart(barrier, &mut out.sends);
+        if all_in && self.depart(barrier, &mut out.sends) {
             out.actions.push(Action::BarrierDone(barrier));
         }
         out
@@ -922,15 +1147,32 @@ impl Node {
         barrier: BarrierId,
         vt: VTime,
         intervals: Vec<IntervalMsg>,
+        gc: bool,
     ) -> Handled {
         for m in &intervals {
             self.integrate_interval(m);
         }
         self.vt.merge(&vt);
-        Handled {
-            sends: Vec::new(),
-            actions: vec![Action::BarrierDone(barrier)],
+        if !gc {
+            return Handled {
+                sends: Vec::new(),
+                actions: vec![Action::BarrierDone(barrier)],
+            };
         }
+        let mut out = Handled::default();
+        let mut done = self.begin_gc(barrier, vt, &mut out.sends);
+        if !done {
+            if let Some(b) = self.pending_gc_done.take() {
+                // The origin's GcDone overtook this departure.
+                debug_assert_eq!(b, barrier);
+                self.gc_local_collect();
+                done = true;
+            }
+        }
+        if done {
+            out.actions.push(Action::BarrierDone(barrier));
+        }
+        out
     }
 
     fn on_page_req(&mut self, page: PageId, from: NodeId) -> Handled {
@@ -994,6 +1236,30 @@ impl Node {
                 (s, vt, d)
             })
             .collect();
+        // A request served while a collection is in flight is the origin
+        // validating its copies. Every served diff at or below the floor is
+        // about to be retired cluster-wide — caching it until `GcDone`
+        // would spike the very footprint the collector exists to bound, so
+        // retire it on the spot.
+        if let Some(floor) = self.gc.as_ref().map(|g| g.floor.get(self.id)) {
+            let p = &mut self.pages[page];
+            let (mut retired, mut freed) = (0u64, 0u64);
+            p.my_diffs.retain(|(s, d)| {
+                if *s <= floor {
+                    retired += 1;
+                    freed += d.wire_bytes() as u64;
+                    false
+                } else {
+                    true
+                }
+            });
+            if retired > 0 {
+                self.cached_diff_bytes -= freed;
+                self.stats.gc_diffs_retired += retired;
+                self.stats.gc_diff_bytes_retired += freed;
+                self.ledger_note();
+            }
+        }
         Handled {
             sends: vec![Envelope {
                 from: self.id,
@@ -1032,6 +1298,12 @@ impl Node {
     fn on_update(&mut self, interval: IntervalMsg, diffs: Vec<(PageId, Diff)>) -> Handled {
         let writer = interval.node;
         let seq = interval.seq;
+        if seq <= self.store.floor(writer) {
+            // The interval was retired by a GC that overtook this update
+            // (delayed delivery): every surviving copy already reflects it,
+            // and its diffs can no longer be re-fetched. Drop it.
+            return Handled::default();
+        }
         for (page, diff) in diffs {
             let p = &mut self.pages[page];
             let in_order = p.applied[writer] + 1 == seq && p.pending[writer].is_empty();

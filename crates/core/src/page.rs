@@ -43,6 +43,10 @@ pub(crate) struct FetchState {
     pub diffs: Vec<(NodeId, Seq, crate::VTime, Diff)>,
     /// Whether the faulting access was a write (twin needed on completion).
     pub want_write: bool,
+    /// This is a GC validation fetch by the origin: no processor is blocked
+    /// on it, and its completion advances the collection instead of raising
+    /// a page-ready action.
+    pub gc: bool,
 }
 
 impl PageMeta {

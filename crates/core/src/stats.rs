@@ -36,6 +36,35 @@ pub struct NodeStats {
     pub intervals_closed: u64,
     /// Write notices received from other nodes.
     pub notices_received: u64,
+
+    // --- Memory ledger (tracked only when `Config::gc` is set, so runs
+    // --- predating the ledger keep byte-identical reports).
+    /// Barrier-time garbage collections performed.
+    pub gc_collections: u64,
+    /// Interval records retired by GC.
+    pub gc_intervals_retired: u64,
+    /// Cached diffs dropped by GC.
+    pub gc_diffs_retired: u64,
+    /// Wire bytes of cached diffs dropped by GC.
+    pub gc_diff_bytes_retired: u64,
+    /// Stale page copies invalidated by GC (their retired diffs could no
+    /// longer bring them current).
+    pub gc_pages_dropped: u64,
+    /// Pages the origin re-validated during GC (fetched outstanding diffs
+    /// so post-GC faults can be served with a current full copy).
+    pub gc_pages_validated: u64,
+    /// Live interval records at the last ledger update (gauge).
+    pub live_intervals: u64,
+    /// Approximate bytes of live interval records (gauge).
+    pub live_interval_bytes: u64,
+    /// Wire bytes of diffs currently cached on this node (gauge).
+    pub cached_diff_bytes: u64,
+    /// High-water mark of `live_intervals`.
+    pub live_intervals_hw: u64,
+    /// High-water mark of `live_interval_bytes`.
+    pub live_interval_bytes_hw: u64,
+    /// High-water mark of `cached_diff_bytes`.
+    pub cached_diff_bytes_hw: u64,
 }
 
 impl NodeStats {
@@ -55,6 +84,20 @@ impl NodeStats {
         self.twins_created += o.twins_created;
         self.intervals_closed += o.intervals_closed;
         self.notices_received += o.notices_received;
+        self.gc_collections += o.gc_collections;
+        self.gc_intervals_retired += o.gc_intervals_retired;
+        self.gc_diffs_retired += o.gc_diffs_retired;
+        self.gc_diff_bytes_retired += o.gc_diff_bytes_retired;
+        self.gc_pages_dropped += o.gc_pages_dropped;
+        self.gc_pages_validated += o.gc_pages_validated;
+        // Gauges and high-water marks sum across nodes: the cluster figure
+        // is the aggregate footprint (sum of per-node values / peaks).
+        self.live_intervals += o.live_intervals;
+        self.live_interval_bytes += o.live_interval_bytes;
+        self.cached_diff_bytes += o.cached_diff_bytes;
+        self.live_intervals_hw += o.live_intervals_hw;
+        self.live_interval_bytes_hw += o.live_interval_bytes_hw;
+        self.cached_diff_bytes_hw += o.cached_diff_bytes_hw;
     }
 }
 

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use tmk_core::{
     Action, ChaosPlan, ChaosRouter, Cluster, Config, Diff, Envelope, FaultStart, Handled,
-    IvyNode, Node, RetransmitPolicy, StartAcquire, VTime, WORD,
+    IntervalMsg, IvyNode, Msg, Node, RetransmitPolicy, StartAcquire, VTime, WORD,
 };
 
 // ---------------------------------------------------------------------
@@ -117,6 +117,10 @@ enum Op {
     Barrier,
     /// Node writes its own slot region (owner-private data).
     OwnWrite { node: usize, value: u8 },
+    /// A lock episode immediately followed by a barrier: the same interval
+    /// range then travels via a lock grant *and* a barrier departure, so
+    /// interval delivery over both paths must stay idempotent.
+    LockedSync { node: usize, slot: usize, delta: u8 },
 }
 
 fn op_strategy(nodes: usize, slots: usize) -> impl Strategy<Value = Op> {
@@ -125,6 +129,8 @@ fn op_strategy(nodes: usize, slots: usize) -> impl Strategy<Value = Op> {
             .prop_map(|(node, slot, delta)| Op::LockedAdd { node, slot, delta }),
         Just(Op::Barrier),
         (0..nodes, any::<u8>()).prop_map(|(node, value)| Op::OwnWrite { node, value }),
+        (0..nodes, 0..slots, any::<u8>())
+            .prop_map(|(node, slot, delta)| Op::LockedSync { node, slot, delta }),
     ]
 }
 
@@ -158,6 +164,15 @@ proptest! {
                 Op::OwnWrite { node, value } => {
                     c.write_u64(node, own + node * 8, u64::from(value));
                     own_oracle[node] = u64::from(value);
+                }
+                Op::LockedSync { node, slot, delta } => {
+                    c.lock(node, 0);
+                    let v = c.read_u64(node, base + slot * 8);
+                    prop_assert_eq!(v, oracle[slot], "locked read saw stale data");
+                    c.write_u64(node, base + slot * 8, v + u64::from(delta));
+                    c.unlock(node, 0);
+                    oracle[slot] += u64::from(delta);
+                    c.barrier(0);
                 }
             }
         }
@@ -248,6 +263,16 @@ proptest! {
                 Op::OwnWrite { node, value } => {
                     let node = node % nodes;
                     c.write_u64(node, own + node * 8, u64::from(value));
+                }
+                Op::LockedSync { node, slot, delta } => {
+                    let node = node % nodes;
+                    c.lock(node, 0);
+                    let v = c.read_u64(node, base + slot % 4 * 8);
+                    prop_assert_eq!(v, oracle[slot % 4]);
+                    c.write_u64(node, base + slot % 4 * 8, v + u64::from(delta));
+                    c.unlock(node, 0);
+                    oracle[slot % 4] += u64::from(delta);
+                    c.barrier(0);
                 }
             }
         }
@@ -443,6 +468,14 @@ fn run_chaos_program<N: Proto>(nodes: Vec<N>, plan: ChaosPlan, ops: &[Op]) -> Ve
                 let node = node % n;
                 c.write_u64(node, own + node * 8, u64::from(value));
             }
+            Op::LockedSync { node, slot, delta } => {
+                let (node, slot) = (node % n, slot % slots);
+                c.lock(node, 0);
+                let v = c.read_u64(node, base + slot * 8);
+                c.write_u64(node, base + slot * 8, v + u64::from(delta));
+                c.unlock(node, 0);
+                c.barrier(0);
+            }
         }
     }
     c.barrier(1);
@@ -456,4 +489,175 @@ fn run_chaos_program<N: Proto>(nodes: Vec<N>, plan: ChaosPlan, ops: &[Op]) -> Ve
         }
     }
     image
+}
+
+// ---------------------------------------------------------------------
+// Barrier-time garbage collection
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// A run with barrier-time GC enabled (threshold 0: collect at every
+    /// barrier) produces a byte-identical final shared-memory image to a
+    /// GC-free run of the same program — with and without injected
+    /// network faults. The image is read back *after* the last collection,
+    /// so it exercises the post-GC path (whole-page fetches from the
+    /// validated origin instead of replays of retired diffs).
+    #[test]
+    fn gc_runs_match_gc_free_runs(
+        ops in proptest::collection::vec(op_strategy(4, 8), 1..40),
+        plan in chaos_plan_strategy(),
+    ) {
+        let clean = ChaosPlan { seed: plan.seed, drop: 0.0, dup: 0.0, delay: 0.0 };
+        let nogc = || Config::new(4).page_size(256).segment_pages(8);
+        let gc = || nogc().gc(0);
+        let a = run_chaos_program((0..4).map(|i| Node::new(i, nogc())).collect(), clean, &ops);
+        let b = run_chaos_program((0..4).map(|i| Node::new(i, gc())).collect(), clean, &ops);
+        prop_assert_eq!(&a, &b, "GC changed the program outcome");
+        let c = run_chaos_program((0..4).map(|i| Node::new(i, gc())).collect(), plan, &ops);
+        prop_assert_eq!(&a, &c, "GC + injected faults changed the outcome ({:?})", plan);
+    }
+
+    /// Eager-release mode composes with GC: the oracle still holds when
+    /// every barrier collects.
+    #[test]
+    fn eager_gc_matches_gc_free(
+        ops in proptest::collection::vec(op_strategy(3, 8), 1..30),
+    ) {
+        let clean = ChaosPlan { seed: 7, drop: 0.0, dup: 0.0, delay: 0.0 };
+        let nogc = || Config::new(3).page_size(256).segment_pages(8).eager_release_all();
+        let gc = || nogc().gc(0);
+        let a = run_chaos_program((0..3).map(|i| Node::new(i, nogc())).collect(), clean, &ops);
+        let b = run_chaos_program((0..3).map(|i| Node::new(i, gc())).collect(), clean, &ops);
+        prop_assert_eq!(a, b, "GC changed the eager-release outcome");
+    }
+}
+
+/// Writes under a lock across several barriers with threshold-0 GC: every
+/// barrier collects, the data survives, and the ledger shows the store
+/// shrinking back to empty (non-monotonic footprint).
+#[test]
+fn barrier_gc_retires_metadata_and_preserves_data() {
+    let nodes = 4;
+    let mut c = Cluster::new(Config::new(nodes).page_size(256).segment_pages(8).gc(0));
+    let base = c.alloc(nodes * 8, 8);
+    let rounds = 5u64;
+    for round in 0..rounds {
+        for node in 0..nodes {
+            c.lock(node, 0);
+            let v = c.read_u64(node, base + node * 8);
+            c.write_u64(node, base + node * 8, v + round + 1);
+            c.unlock(node, 0);
+        }
+        c.barrier(0);
+    }
+    let s = c.stats();
+    assert!(s.gc_collections >= (rounds * nodes as u64), "every barrier collects on every node");
+    assert!(s.gc_intervals_retired > 0, "intervals were retired");
+    assert!(s.live_intervals_hw > 0, "the ledger saw live intervals");
+    assert_eq!(s.live_intervals, 0, "the final collection emptied every store");
+    assert_eq!(s.cached_diff_bytes, 0, "no cached diffs survive a collection");
+    // The data itself is intact: post-GC reads fetch validated pages.
+    let want = rounds * (rounds + 1) / 2;
+    for node in 0..nodes {
+        for q in 0..nodes {
+            assert_eq!(c.read_u64(node, base + q * 8), want, "node {node} slot {q}");
+        }
+    }
+}
+
+/// `gc(u64::MAX)` is ledger-only mode: footprints are tracked but nothing
+/// is ever collected — the GC-off arm of the scaling experiment.
+#[test]
+fn ledger_only_mode_tracks_without_collecting() {
+    let nodes = 4;
+    let mut c = Cluster::new(
+        Config::new(nodes)
+            .page_size(256)
+            .segment_pages(8)
+            .gc(u64::MAX),
+    );
+    let base = c.alloc(nodes * 8, 8);
+    for _ in 0..3 {
+        for node in 0..nodes {
+            c.lock(node, 0);
+            let v = c.read_u64(node, base);
+            c.write_u64(node, base, v + 1);
+            c.unlock(node, 0);
+        }
+        c.barrier(0);
+    }
+    let s = c.stats();
+    assert_eq!(s.gc_collections, 0);
+    assert_eq!(s.gc_intervals_retired, 0);
+    assert!(s.live_intervals > 0, "stores grow monotonically without GC");
+    assert_eq!(s.live_intervals, s.live_intervals_hw, "no shrink ever happened");
+    assert!(s.live_interval_bytes > 0);
+}
+
+/// Without a GC configuration the ledger fields stay exactly zero, so
+/// reports from configurations predating the ledger are byte-identical.
+#[test]
+fn gc_off_keeps_ledger_zero() {
+    let nodes = 4;
+    let mut c = Cluster::new(Config::new(nodes).page_size(256).segment_pages(8));
+    let base = c.alloc(nodes * 8, 8);
+    for node in 0..nodes {
+        c.lock(node, 0);
+        let v = c.read_u64(node, base);
+        c.write_u64(node, base, v + 1);
+        c.unlock(node, 0);
+    }
+    c.barrier(0);
+    let s = c.stats();
+    assert_eq!(s.gc_collections, 0);
+    assert_eq!(s.live_intervals, 0);
+    assert_eq!(s.live_intervals_hw, 0);
+    assert_eq!(s.live_interval_bytes, 0);
+    assert_eq!(s.live_interval_bytes_hw, 0);
+    assert_eq!(s.cached_diff_bytes, 0);
+    assert_eq!(s.cached_diff_bytes_hw, 0);
+}
+
+/// The `IntervalStore::between()` duplicate-delivery audit, pinned: the
+/// same interval arriving once via a lock grant and again via a barrier
+/// departure is integrated exactly once (no double-applied notices, no
+/// duplicate store records).
+#[test]
+fn duplicate_interval_delivery_is_idempotent() {
+    let cfg = Config::new(2).page_size(256).segment_pages(8);
+    let mut node = Node::new(1, cfg.clone());
+    let mut vt = VTime::zero(2);
+    vt.set(0, 1);
+    let interval = IntervalMsg::new(0, 1, vt.clone(), vec![0, 1]);
+
+    // First delivery: a lock grant carrying the interval.
+    let h = node.handle(Envelope {
+        from: 0,
+        to: 1,
+        msg: Msg::LockGrant {
+            lock: 1, // node 1 manages lock 1, so the token may land here
+            intervals: vec![interval.clone()],
+        },
+    });
+    assert_eq!(h.actions, vec![Action::LockGranted(1)]);
+    assert_eq!(node.stats().notices_received, 2, "two pages noticed");
+
+    // Second delivery: a barrier departure racing over the same (node, seq).
+    let h = node.handle(Envelope {
+        from: 0,
+        to: 1,
+        msg: Msg::BarrierDepart {
+            barrier: 0,
+            vt,
+            intervals: vec![interval],
+            gc: false,
+        },
+    });
+    assert_eq!(h.actions, vec![Action::BarrierDone(0)]);
+    assert_eq!(
+        node.stats().notices_received,
+        2,
+        "re-delivered interval must not double-apply its notices"
+    );
 }

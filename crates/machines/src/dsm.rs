@@ -186,6 +186,9 @@ impl DsmMachine {
         for &l in &tuning.eager_locks {
             cfg = cfg.eager_release_lock(l);
         }
+        if let Some(t) = tuning.gc {
+            cfg = cfg.gc(t);
+        }
         let header_bytes = cfg.header_bytes;
         let wire = PointToPointNet::new(params.procs, params.net);
         let net = match &tuning.faults {
@@ -259,6 +262,14 @@ impl DsmMachine {
         }
         t
     }
+}
+
+/// Cycles a node spends retiring collected metadata: list bookkeeping per
+/// interval record plus freeing cached diff storage. GC work is protocol
+/// work — it lands in [`Category::Protocol`] (or `Stolen` on remote nodes)
+/// like twin and diff service.
+pub(crate) fn gc_service_cycles(intervals: u64, freed_bytes: u64) -> Cycle {
+    intervals * 8 + freed_bytes / 64
 }
 
 /// Everything a routed protocol cascade produced.
@@ -485,6 +496,8 @@ pub(crate) fn route_timed(
         let after = m.nodes[to].stats();
         let created = after.diffs_created - before.diffs_created;
         let twinned = after.twins_created - before.twins_created;
+        let retired = after.gc_intervals_retired - before.gc_intervals_retired;
+        let freed = after.gc_diff_bytes_retired - before.gc_diff_bytes_retired;
         if m.sink.enabled() {
             let node = Track::Node(to as u32);
             let instant = |kind| Event { track: node, at: begin, dur: 0, kind };
@@ -508,9 +521,16 @@ pub(crate) fn route_timed(
             if notices > 0 {
                 m.sink.emit(instant(EventKind::WriteNotice { count: notices }));
             }
+            if retired > 0 {
+                m.sink.emit(instant(EventKind::GcRetire {
+                    intervals: retired,
+                    bytes: freed,
+                }));
+            }
         }
         let service = created * m.params.so.diff_cycles(m.page_size())
-            + twinned * (m.page_size() / 4) as u64;
+            + twinned * (m.page_size() / 4) as u64
+            + gc_service_cycles(retired, freed);
         if service > 0 {
             out.charges.push((to, service));
         }
@@ -767,10 +787,29 @@ impl System for DsmSys<'_, '_> {
                     barrier: barrier as u64,
                 },
             });
-            let created_before = m.nodes[me].stats().diffs_created;
+            let before = *m.nodes[me].stats();
             let start = m.nodes[me].barrier_arrive(barrier);
-            let created = m.nodes[me].stats().diffs_created - created_before;
-            let t = now + 10 + created * m.params.so.diff_cycles(m.page_size());
+            let after = *m.nodes[me].stats();
+            let created = after.diffs_created - before.diffs_created;
+            // A manager that is also the last arriver can depart — and
+            // collect — inside `barrier_arrive`; charge that work here.
+            let retired = after.gc_intervals_retired - before.gc_intervals_retired;
+            let freed = after.gc_diff_bytes_retired - before.gc_diff_bytes_retired;
+            if retired > 0 {
+                m.sink.emit(Event {
+                    track: Track::Node(me as u32),
+                    at: now,
+                    dur: 0,
+                    kind: EventKind::GcRetire {
+                        intervals: retired,
+                        bytes: freed,
+                    },
+                });
+            }
+            let t = now
+                + 10
+                + created * m.params.so.diff_cycles(m.page_size())
+                + gc_service_cycles(retired, freed);
             let ready = start.ready;
             let routed = route_timed(m, me, t, start.sends);
             let mine = settle(op, me, routed, t, Category::SyncIdle);

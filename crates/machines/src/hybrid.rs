@@ -105,6 +105,9 @@ impl HsMachine {
         for &l in &tuning.eager_locks {
             cfg = cfg.eager_release_lock(l);
         }
+        if let Some(t) = tuning.gc {
+            cfg = cfg.gc(t);
+        }
         let header_bytes = cfg.header_bytes;
         HsMachine {
             dsm: (0..params.nodes)
@@ -284,6 +287,8 @@ fn route_timed(m: &mut HsMachine, me_node: NodeId, t0: Cycle, sends: Vec<Envelop
         let after = m.dsm[to].stats();
         let created = after.diffs_created - before.diffs_created;
         let twinned = after.twins_created - before.twins_created;
+        let retired = after.gc_intervals_retired - before.gc_intervals_retired;
+        let freed = after.gc_diff_bytes_retired - before.gc_diff_bytes_retired;
         if m.sink.enabled() {
             let node = Track::Node(to as u32);
             let instant = |kind| Event { track: node, at: begin, dur: 0, kind };
@@ -307,9 +312,16 @@ fn route_timed(m: &mut HsMachine, me_node: NodeId, t0: Cycle, sends: Vec<Envelop
             if notices > 0 {
                 m.sink.emit(instant(EventKind::WriteNotice { count: notices }));
             }
+            if retired > 0 {
+                m.sink.emit(instant(EventKind::GcRetire {
+                    intervals: retired,
+                    bytes: freed,
+                }));
+            }
         }
         let service = created * m.params.so.diff_cycles(m.page_size())
-            + twinned * (m.page_size() / 4) as u64;
+            + twinned * (m.page_size() / 4) as u64
+            + crate::dsm::gc_service_cycles(retired, freed);
         if service > 0 {
             out.charges.push((to, service));
         }
@@ -689,10 +701,24 @@ impl System for HsSys<'_, '_> {
             let t = now + local_cost;
             let (ready, sends) = {
                 let m = op.machine();
-                let created_before = m.dsm[nd].stats().diffs_created;
+                let before = *m.dsm[nd].stats();
                 let start = m.dsm[nd].barrier_arrive(barrier);
-                let created = m.dsm[nd].stats().diffs_created - created_before;
-                let _ = created; // charged via settle's initiator time
+                let after = *m.dsm[nd].stats();
+                // Diff/GC service is charged via settle's initiator time;
+                // trace the collection for visibility.
+                let retired = after.gc_intervals_retired - before.gc_intervals_retired;
+                if retired > 0 {
+                    m.sink.emit(Event {
+                        track: Track::Node(nd as u32),
+                        at: t,
+                        dur: 0,
+                        kind: EventKind::GcRetire {
+                            intervals: retired,
+                            bytes: after.gc_diff_bytes_retired
+                                - before.gc_diff_bytes_retired,
+                        },
+                    });
+                }
                 (start.ready, start.sends)
             };
             let routed = route_timed(op.machine(), nd, t, sends);

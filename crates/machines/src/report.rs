@@ -169,7 +169,7 @@ fn traffic_json(t: &Traffic) -> Json {
 }
 
 fn node_stats_json(s: &NodeStats) -> Json {
-    Json::obj()
+    let mut j = Json::obj()
         .set("local_lock_acquires", s.local_lock_acquires)
         .set("remote_lock_acquires", s.remote_lock_acquires)
         .set("lock_releases", s.lock_releases)
@@ -183,7 +183,29 @@ fn node_stats_json(s: &NodeStats) -> Json {
         .set("diff_bytes_created", s.diff_bytes_created)
         .set("twins_created", s.twins_created)
         .set("intervals_closed", s.intervals_closed)
-        .set("notices_received", s.notices_received)
+        .set("notices_received", s.notices_received);
+    // The GC ledger exists only when `Config::gc` is armed; runs without
+    // it predate the collector, so keep their committed JSON byte-identical
+    // by omitting the all-zero block.
+    if s.gc_collections > 0 || s.live_intervals_hw > 0 {
+        j = j.set(
+            "gc",
+            Json::obj()
+                .set("collections", s.gc_collections)
+                .set("intervals_retired", s.gc_intervals_retired)
+                .set("diffs_retired", s.gc_diffs_retired)
+                .set("diff_bytes_retired", s.gc_diff_bytes_retired)
+                .set("pages_dropped", s.gc_pages_dropped)
+                .set("pages_validated", s.gc_pages_validated)
+                .set("live_intervals", s.live_intervals)
+                .set("live_interval_bytes", s.live_interval_bytes)
+                .set("cached_diff_bytes", s.cached_diff_bytes)
+                .set("live_intervals_hw", s.live_intervals_hw)
+                .set("live_interval_bytes_hw", s.live_interval_bytes_hw)
+                .set("cached_diff_bytes_hw", s.cached_diff_bytes_hw),
+        );
+    }
+    j
 }
 
 #[cfg(test)]

@@ -37,6 +37,12 @@ pub struct DsmTuning {
     /// Aborts the run with a per-processor diagnostic dump once any
     /// simulated clock passes this budget (livelock guard).
     pub watchdog_budget: Option<tmk_sim::Cycle>,
+    /// Barrier-time consistency-metadata garbage collection: nodes whose
+    /// interval/diff footprint reaches this many bytes request a collection
+    /// at the next barrier. `None` disables GC and its memory ledger;
+    /// `Some(u64::MAX)` keeps the ledger without ever collecting
+    /// (the measurement baseline for GC ablations).
+    pub gc: Option<u64>,
 }
 
 /// The five platforms of the case study.
@@ -163,6 +169,9 @@ impl Platform {
             }
             if let Some(w) = tuning.watchdog_budget {
                 s.push_str(&format!("/wd{w}"));
+            }
+            if let Some(g) = tuning.gc {
+                s.push_str(&format!("/gc{g}"));
             }
             s
         }
@@ -621,6 +630,17 @@ mod tests {
             },
         };
         assert_eq!(ivy.key(), "tmk/p8/ivy");
+        let gc = Platform::AsCluster {
+            procs: 8,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                gc: Some(1 << 20),
+                ..Default::default()
+            },
+        };
+        assert_eq!(gc.key(), "as/p8/gc1048576");
+        assert_ne!(gc.key(), Platform::as_sim(8).key());
     }
 
     #[test]

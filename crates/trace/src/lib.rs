@@ -196,6 +196,15 @@ pub enum EventKind {
         /// Notices received.
         count: u64,
     },
+    /// Barrier-time garbage collection retired consistency metadata on
+    /// this node (intervals below the global minimum frontier plus their
+    /// cached diffs).
+    GcRetire {
+        /// Interval records retired.
+        intervals: u64,
+        /// Cached diff bytes freed.
+        bytes: u64,
+    },
     /// A lock request was forwarded along the distributed queue.
     LockForward {
         /// The lock.
@@ -263,6 +272,7 @@ impl EventKind {
             EventKind::DiffMake { .. } => "diff_make",
             EventKind::DiffApply { .. } => "diff_apply",
             EventKind::WriteNotice { .. } => "write_notice",
+            EventKind::GcRetire { .. } => "gc_retire",
             EventKind::LockForward { .. } => "lock_forward",
             EventKind::BarrierEpoch { .. } => "barrier_epoch",
             EventKind::Retransmit { .. } => "retransmit",
@@ -293,6 +303,12 @@ impl EventKind {
             }
             EventKind::WriteNotice { count } => {
                 let _ = write!(out, ",\"args\":{{\"count\":{count}}}");
+            }
+            EventKind::GcRetire { intervals, bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"intervals\":{intervals},\"bytes\":{bytes}}}"
+                );
             }
             EventKind::LockForward { lock } => {
                 let _ = write!(out, ",\"args\":{{\"lock\":{lock}}}");

@@ -22,6 +22,14 @@ timeout "${CHAOS_TIMEOUT:-600}" \
     ./target/release/suite --experiment chaos --quick \
     --json --out target/smoke > target/smoke/chaos.txt
 
+echo "== scaling: barrier-time GC memory bound =="
+# The experiment's renderer fails (nonzero exit) unless GC-on runs stay
+# result-identical to GC-free and hold the diff-cache and interval-store
+# high-water marks strictly below the uncollected baseline.
+timeout "${CHAOS_TIMEOUT:-600}" \
+    ./target/release/suite --experiment scaling --quick \
+    --json --out target/smoke > target/smoke/scaling.txt
+
 echo "== trace: breakdown decomposition + trace determinism =="
 # Two traced quick-tier runs must record byte-identical Chrome traces; the
 # suite validates each document against its JSON parser before writing.
