@@ -33,10 +33,12 @@ use std::time::Instant;
 use tmk_apps::{ilink, sor, tsp, water};
 use tmk_core::RetransmitPolicy;
 use tmk_machines::{
-    run_workload_traced, DsmProtocol, DsmTuning, Json, Outcome, Platform, RunReport,
+    run_workload_traced, set_engine_kind, set_op_trace, DsmProtocol, DsmTuning, Json, Outcome,
+    Platform, RunReport,
 };
 use tmk_net::{FaultPlan, SoftwareOverhead};
 use tmk_parmacs::Workload;
+use tmk_sim::{Cycle, EngineKind};
 use tmk_trace::{Category, TraceBuf, NCAT};
 
 use crate::fmt_secs;
@@ -295,6 +297,10 @@ pub struct RunData {
     pub checksums: Vec<f64>,
     /// Tracer output, when the request was [`JobRequest::traced`].
     pub trace: Option<TraceData>,
+    /// The engine op trace — `(processor, clock)` per sync operation in
+    /// execution order — when `suite --op-trace` (or `TMK_ENGINE_TRACE`)
+    /// armed it. `None` otherwise.
+    pub op_trace: Option<Arc<Vec<(usize, Cycle)>>>,
 }
 
 /// What the cycle-attribution tracer recorded for one run.
@@ -357,6 +363,32 @@ impl MemoTable {
     }
 }
 
+/// The simulated (host-independent) portion of one run record: the full
+/// report plus checksums, op trace and attribution ledger, with the
+/// host-side `engine` and `host_ms` fields normalized away. Byte-equal
+/// strings mean two runs simulated identically — the cross-engine parity
+/// predicate used by `suite engine-bench` and the driver tests.
+pub fn sim_record(r: &JobResult) -> String {
+    match &r.data {
+        Ok(d) => {
+            let mut report = d.report.clone();
+            report.engine = EngineKind::default();
+            report.host_ms = 0.0;
+            let mut s = format!(
+                "{}|checksums={:?}|ops={:?}",
+                report.to_json().render(),
+                d.checksums,
+                d.op_trace
+            );
+            if let Some(t) = &d.trace {
+                let _ = write!(s, "|breakdown={:?}", t.breakdown);
+            }
+            s
+        }
+        Err(e) => format!("failed: {e}"),
+    }
+}
+
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -390,6 +422,7 @@ fn execute(req: &JobRequest, ring_cap: usize) -> JobResult {
                     breakdown: b.breakdown(),
                     chrome: (ring_cap > 0).then(|| b.chrome_trace()),
                 }),
+                op_trace: (!out.op_trace.is_empty()).then(|| Arc::new(out.op_trace)),
             }),
             Err(payload) => Err(panic_text(payload.as_ref())),
         },
@@ -2085,6 +2118,89 @@ fn calibrate(tier: Tier) -> Experiment {
     }
 }
 
+/// Large-cluster scaling: SOR and TSP on the AS and HS designs out to 256
+/// nodes — machine sizes the per-processor-thread engine could not touch,
+/// practical on the cooperative event loop. Extends the Figure 9/10 curves
+/// (whose 64-processor points memoize with this experiment's smallest size).
+fn scaling256(tier: Tier) -> Experiment {
+    // (AS node counts, HS (nodes, per_node) shapes, speedup base = AS-1).
+    let (as_procs, hs_shapes): (Vec<usize>, Vec<(usize, usize)>) = match tier {
+        Tier::Full => (vec![64, 128, 256], vec![(8, 8), (16, 8), (32, 8)]),
+        Tier::Quick => (vec![8, 16], vec![(4, 2), (8, 2)]),
+    };
+    let apps: Vec<(&'static str, &'static str, WorkloadSpec)> = match tier {
+        Tier::Full => vec![
+            ("sor", "SOR 1024x1024", WorkloadSpec::SorSmall),
+            ("tsp", "TSP 18 cities", WorkloadSpec::Tsp { cities: 18 }),
+        ],
+        Tier::Quick => vec![
+            ("sor", "SOR tiny", WorkloadSpec::SorTiny),
+            ("tsp", "TSP 10 cities", WorkloadSpec::Tsp { cities: 10 }),
+        ],
+    };
+
+    let sections = apps
+        .iter()
+        .map(|(id, name, w)| {
+            let mut requests = vec![req(Platform::as_sim(1), w.clone())];
+            for &n in &as_procs {
+                requests.push(req(Platform::as_sim(n), w.clone()));
+            }
+            for &(nodes, per_node) in &hs_shapes {
+                requests.push(req(Platform::hs_sim(nodes, per_node), w.clone()));
+            }
+            let (name, w) = (*name, w.clone());
+            let (as_procs, hs_shapes) = (as_procs.clone(), hs_shapes.clone());
+            let render: Render = Box::new(move |ctx| {
+                let base = ctx.wsecs(&req(Platform::as_sim(1), w.clone()))?;
+                let mut out = String::new();
+                writeln!(out).unwrap();
+                writeln!(
+                    out,
+                    "{name} — large-cluster speedup vs processors (AS / HS)"
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "{:>6} {:>12} {:>10} {:>12} {:>10}",
+                    "procs", "AS", "speedup", "HS", "speedup"
+                )
+                .unwrap();
+                for (&n, &(nodes, per_node)) in as_procs.iter().zip(&hs_shapes) {
+                    let a = ctx.wsecs(&req(Platform::as_sim(n), w.clone()))?;
+                    let h = ctx.wsecs(&req(Platform::hs_sim(nodes, per_node), w.clone()))?;
+                    // Speedups below 1 are reported, not failed: rollover at
+                    // scale (communication swamping a fixed input) is exactly
+                    // what this experiment exists to measure.
+                    let (sa, sh) = (base / a, base / h);
+                    writeln!(
+                        out,
+                        "{n:>6} {:>12} {sa:>9.2}x {:>12} {sh:>9.2}x",
+                        fmt_secs(a),
+                        fmt_secs(h),
+                    )
+                    .unwrap();
+                }
+                Ok(out)
+            });
+            Section::new(id, requests, render)
+        })
+        .collect();
+
+    Experiment {
+        id: "scaling256",
+        title: "SOR and TSP on AS/HS clusters out to 256 nodes",
+        default: true,
+        header: Some(
+            "Large-cluster scaling on the simulated AS and HS designs: the \
+             Figure 9/10\nworkloads pushed to 256 nodes (8 processors per HS \
+             node), far past the paper's\n64-processor ceiling.\n"
+                .to_string(),
+        ),
+        sections,
+    }
+}
+
 /// Every experiment of the case study at the given tier, in print order.
 pub fn registry(tier: Tier) -> Vec<Experiment> {
     vec![
@@ -2098,6 +2214,7 @@ pub fn registry(tier: Tier) -> Vec<Experiment> {
         chaos(tier),
         breakdown(tier),
         scaling(tier),
+        scaling256(tier),
         calibrate(tier),
     ]
 }
@@ -2122,6 +2239,11 @@ pub struct Options {
     /// Directory for Chrome trace-event JSON files; also switches traced
     /// runs from ledger-only to full event recording.
     pub trace_dir: Option<String>,
+    /// Execution backend every simulation runs on (`suite --engine`).
+    pub engine: EngineKind,
+    /// Directory for engine op-trace text files (`suite --op-trace`); also
+    /// arms op tracing on every run.
+    pub op_trace_dir: Option<String>,
 }
 
 impl Default for Tier {
@@ -2159,6 +2281,8 @@ pub struct SuiteResult {
     pub tier: Tier,
     /// Worker threads used.
     pub jobs: usize,
+    /// Execution backend the simulations ran on.
+    pub engine: EngineKind,
     /// Rendered experiments in registry order.
     pub experiments: Vec<ExperimentOutcome>,
     /// Every unique run, sorted by memo key.
@@ -2205,6 +2329,7 @@ impl SuiteResult {
             .set("schema", "tmk-bench/1")
             .set("tier", self.tier.as_str())
             .set("jobs", self.jobs)
+            .set("engine", self.engine.as_str())
             .set("host_parallelism", host)
             .set(
                 "experiments",
@@ -2345,6 +2470,8 @@ fn run_json(r: &JobResult) -> Json {
 /// fatal.
 pub fn run_suite(opts: &Options) -> Result<SuiteResult, String> {
     let started = std::time::Instant::now();
+    set_engine_kind(opts.engine);
+    set_op_trace(opts.op_trace_dir.is_some());
     let mut registry = registry(opts.tier);
     let known: Vec<&str> = registry.iter().map(|e| e.id).collect();
     for id in &opts.experiments {
@@ -2440,6 +2567,7 @@ pub fn run_suite(opts: &Options) -> Result<SuiteResult, String> {
     Ok(SuiteResult {
         tier: opts.tier,
         jobs,
+        engine: opts.engine,
         experiments,
         runs: memo.sorted_runs().into_iter().cloned().collect(),
         requests: total_requests,
@@ -2470,9 +2598,8 @@ pub fn shim_main(experiment: &'static str) -> ! {
         tier: Tier::Full,
         jobs: 0,
         experiments: vec![experiment.to_string()],
-        filters: Vec::new(),
         section_filters,
-        trace_dir: None,
+        ..Default::default()
     };
     match run_suite(&opts) {
         Ok(suite) => {
@@ -2494,5 +2621,223 @@ pub fn shim_main(experiment: &'static str) -> ! {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine host-time benchmark
+// ---------------------------------------------------------------------------
+
+/// One unique run of the cross-engine benchmark: the same simulation
+/// executed on both backends.
+#[derive(Debug)]
+pub struct EngineBenchRow {
+    /// The memo key.
+    pub key: String,
+    /// [`Platform::key`] of the platform.
+    pub platform: String,
+    /// Application name.
+    pub workload: String,
+    /// Processors simulated.
+    pub procs: usize,
+    /// Host milliseconds on the threaded engine.
+    pub threaded_ms: f64,
+    /// Host milliseconds on the cooperative engine.
+    pub coop_ms: f64,
+    /// Whether the two engines produced byte-identical simulated records
+    /// ([`sim_record`]).
+    pub parity: bool,
+}
+
+/// Results of `suite engine-bench`: every default-registry run executed on
+/// both engines, with host times and a result-parity verdict per run.
+#[derive(Debug)]
+pub struct EngineBench {
+    /// Tier the benchmark ran at.
+    pub tier: Tier,
+    /// Worker threads used (1 isolates engine speed from host parallelism).
+    pub jobs: usize,
+    /// Per-run comparisons, sorted by memo key.
+    pub rows: Vec<EngineBenchRow>,
+    /// Host wall-clock for the whole threaded pass, milliseconds.
+    pub threaded_wall_ms: f64,
+    /// Host wall-clock for the whole cooperative pass, milliseconds.
+    pub coop_wall_ms: f64,
+    /// Experiment ids left out of the comparison.
+    pub excluded: Vec<&'static str>,
+}
+
+impl EngineBench {
+    /// Full-pass host-wall speedup of the cooperative engine.
+    pub fn speedup(&self) -> f64 {
+        self.threaded_wall_ms / self.coop_wall_ms.max(1e-9)
+    }
+
+    /// Memo keys whose simulated records differ between engines (must be
+    /// empty).
+    pub fn mismatches(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| !r.parity)
+            .map(|r| r.key.as_str())
+            .collect()
+    }
+
+    /// The machine-readable record (`results/engine_bench.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("schema", "tmk-engine-bench/1")
+            .set("tier", self.tier.as_str())
+            .set("jobs", self.jobs)
+            .set("threaded_wall_ms", self.threaded_wall_ms)
+            .set("coop_wall_ms", self.coop_wall_ms)
+            .set("speedup", self.speedup())
+            .set("parity_ok", self.mismatches().is_empty())
+            .set(
+                "excluded_experiments",
+                Json::Arr(self.excluded.iter().map(|&e| Json::from(e)).collect()),
+            )
+            .set(
+                "runs",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .set("key", r.key.as_str())
+                                .set("platform", r.platform.as_str())
+                                .set("workload", r.workload.as_str())
+                                .set("procs", r.procs)
+                                .set("threaded_ms", r.threaded_ms)
+                                .set("coop_ms", r.coop_ms)
+                                .set("speedup", r.threaded_ms / r.coop_ms.max(1e-9))
+                                .set("parity", r.parity)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// The text table (`results/engine_bench.txt`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "Execution-backend benchmark: every default {} -tier run on the \
+             threaded and\ncooperative engines ({} worker{}). Simulated \
+             results must be byte-identical;\nonly host time may differ.",
+            self.tier.as_str(),
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+        )
+        .unwrap();
+        if !self.excluded.is_empty() {
+            writeln!(
+                out,
+                "Excluded: {} (256-node runs are impractical on the threaded \
+                 engine).",
+                self.excluded.join(", ")
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "{:<44} {:>5} {:>12} {:>12} {:>8} {:>7}",
+            "run", "procs", "threaded", "coop", "speedup", "parity"
+        )
+        .unwrap();
+        for r in &self.rows {
+            writeln!(
+                out,
+                "{:<44} {:>5} {:>10.1}ms {:>10.1}ms {:>7.2}x {:>7}",
+                r.key,
+                r.procs,
+                r.threaded_ms,
+                r.coop_ms,
+                r.threaded_ms / r.coop_ms.max(1e-9),
+                if r.parity { "ok" } else { "DIFFER" },
+            )
+            .unwrap();
+        }
+        let sum = |f: fn(&EngineBenchRow) -> f64| self.rows.iter().map(f).sum::<f64>();
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "per-run host time: {:.1}ms threaded -> {:.1}ms coop",
+            sum(|r| r.threaded_ms),
+            sum(|r| r.coop_ms),
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "full-pass wall:    {:.1}ms threaded -> {:.1}ms coop ({:.2}x)",
+            self.threaded_wall_ms,
+            self.coop_wall_ms,
+            self.speedup(),
+        )
+        .unwrap();
+        let bad = self.mismatches();
+        if bad.is_empty() {
+            writeln!(out, "parity: all {} runs byte-identical", self.rows.len()).unwrap();
+        } else {
+            writeln!(out, "parity: {} runs DIFFER: {}", bad.len(), bad.join(", ")).unwrap();
+        }
+        out
+    }
+}
+
+/// Runs every unique default-registry request on both engines and compares
+/// host time and simulated results per run.
+pub fn run_engine_bench(tier: Tier, jobs: usize) -> EngineBench {
+    // scaling256 exists *because* 256-node runs are impractical on the
+    // threaded engine; everything else runs on both.
+    let excluded = vec!["scaling256"];
+    let mut experiments = registry(tier);
+    experiments.retain(|e| e.default && !excluded.contains(&e.id));
+    let requests: Vec<JobRequest> = experiments
+        .iter()
+        .flat_map(|e| e.sections.iter())
+        .flat_map(|s| s.requests.iter().cloned())
+        .collect();
+
+    set_op_trace(false);
+    let run_pass = |kind: EngineKind| {
+        set_engine_kind(kind);
+        let started = Instant::now();
+        let memo = run_jobs(&requests, jobs);
+        (memo, started.elapsed().as_secs_f64() * 1e3)
+    };
+    let (threaded, threaded_wall_ms) = run_pass(EngineKind::Threaded);
+    let (coop, coop_wall_ms) = run_pass(EngineKind::Coop);
+    set_engine_kind(EngineKind::default());
+
+    let rows = threaded
+        .sorted_runs()
+        .into_iter()
+        .map(|t| {
+            let c = coop
+                .map
+                .get(&t.key)
+                .expect("both passes ran the same request set");
+            EngineBenchRow {
+                key: t.key.clone(),
+                platform: t.platform.clone(),
+                workload: t.workload.clone(),
+                procs: t.procs,
+                threaded_ms: t.host_ms,
+                coop_ms: c.host_ms,
+                parity: sim_record(t) == sim_record(c),
+            }
+        })
+        .collect();
+
+    EngineBench {
+        tier,
+        jobs,
+        rows,
+        threaded_wall_ms,
+        coop_wall_ms,
+        excluded,
     }
 }

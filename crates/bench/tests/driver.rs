@@ -3,7 +3,7 @@
 //! records it emits.
 
 use tmk_bench::driver::{
-    run_jobs, run_suite, JobRequest, Options, SuiteResult, Tier, WorkloadSpec,
+    run_jobs, run_suite, sim_record, JobRequest, Options, SuiteResult, Tier, WorkloadSpec,
 };
 use tmk_machines::{Json, Platform};
 
@@ -16,17 +16,15 @@ fn quick_opts(jobs: usize) -> Options {
 }
 
 /// The per-run records of a suite keyed by memo key, with the host-dependent
-/// `host_ms` field removed so runs can be compared across worker counts.
+/// `host_ms`/`engine` fields normalized away so runs can be compared across
+/// worker counts (and engines).
 fn simulated_records(suite: &SuiteResult) -> Vec<(String, String)> {
     suite
         .runs
         .iter()
         .map(|r| {
-            let data = r.data.as_ref().expect("quick tier has no failing runs");
-            let record = Json::obj()
-                .set("checksum", data.checksums.iter().sum::<f64>())
-                .set("report", data.report.to_json());
-            (r.key.clone(), record.render())
+            assert!(r.data.is_ok(), "quick tier has no failing runs: {:?}", r.data);
+            (r.key.clone(), sim_record(r))
         })
         .collect()
 }
@@ -140,4 +138,26 @@ fn unknown_experiment_is_rejected() {
     .unwrap_err();
     assert!(err.contains("fig99"), "got: {err}");
     assert!(err.contains("table1"), "should list known ids: {err}");
+}
+
+#[test]
+fn engine_bench_quick_has_parity_on_every_run() {
+    let bench = tmk_bench::driver::run_engine_bench(Tier::Quick, 2);
+    assert!(!bench.rows.is_empty());
+    assert_eq!(
+        bench.mismatches(),
+        Vec::<&str>::new(),
+        "threaded and coop engines disagreed"
+    );
+    assert!(
+        bench.excluded.contains(&"scaling256"),
+        "the 256-node experiment must not run on the threaded engine"
+    );
+    let j = Json::parse(&bench.to_json().render_pretty(2)).unwrap();
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("tmk-engine-bench/1")
+    );
+    assert_eq!(j.get("parity_ok"), Some(&Json::Bool(true)));
+    assert!(bench.render_text().contains("parity: all"));
 }

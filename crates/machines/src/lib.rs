@@ -26,4 +26,7 @@ pub use hw::{HwKind, HwMachine, HwParams};
 pub use hybrid::{HsMachine, HsParams};
 pub use json::Json;
 pub use report::{Outcome, RunReport};
-pub use run::{run_on, run_on_traced, run_workload, run_workload_traced, DsmTuning, Platform};
+pub use run::{
+    engine_kind, run_on, run_on_traced, run_on_traced_with, run_workload, run_workload_traced,
+    run_workload_traced_with, set_engine_kind, set_op_trace, DsmTuning, Platform,
+};

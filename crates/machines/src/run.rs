@@ -1,18 +1,66 @@
 //! One entry point to run an application on any of the five platforms.
 
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use tmk_net::SoftwareOverhead;
 use tmk_parmacs::{Alloc, InitWriter, System};
-use tmk_sim::Engine;
+use tmk_sim::{AnyEngine, EngineKind};
 use tmk_trace::{Sink, TraceBuf};
 
 use crate::dsm::{DsmMachine, DsmParams, DsmSys};
 use crate::hw::{HwMachine, HwParams, HwSys};
 use crate::hybrid::{HsMachine, HsParams, HsSys};
 use crate::{Outcome, RunReport};
+
+/// Which execution backend the `run_*` entry points use when the caller
+/// does not pick one explicitly: 0 = threaded, 1 = coop, 2 = unset (read
+/// the `TMK_ENGINE` environment variable on first use, default coop).
+static ENGINE_KIND: AtomicU8 = AtomicU8::new(2);
+
+/// Arms the engine op trace on every run (the `suite --op-trace` flag; the
+/// `TMK_ENGINE_TRACE` environment variable remains a fallback, read by the
+/// engines themselves).
+static OP_TRACE: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide default execution backend for [`run_on`] and friends.
+///
+/// Resolution order: [`set_engine_kind`] if called, else the `TMK_ENGINE`
+/// environment variable (`threaded` | `coop`), else [`EngineKind::Coop`].
+/// The choice never affects simulated results — only host-side execution —
+/// so it deliberately does not contribute to [`Platform::key`].
+pub fn engine_kind() -> EngineKind {
+    match ENGINE_KIND.load(Ordering::Relaxed) {
+        0 => EngineKind::Threaded,
+        1 => EngineKind::Coop,
+        _ => {
+            let kind = std::env::var("TMK_ENGINE")
+                .ok()
+                .and_then(|s| EngineKind::parse(&s))
+                .unwrap_or_default();
+            set_engine_kind(kind);
+            kind
+        }
+    }
+}
+
+/// Overrides the process-wide default backend (see [`engine_kind`]).
+pub fn set_engine_kind(kind: EngineKind) {
+    let v = match kind {
+        EngineKind::Threaded => 0,
+        EngineKind::Coop => 1,
+    };
+    ENGINE_KIND.store(v, Ordering::Relaxed);
+}
+
+/// Arms (or disarms) the engine op trace for every subsequent run; traced
+/// ops come back in [`Outcome::op_trace`].
+pub fn set_op_trace(on: bool) {
+    OP_TRACE.store(on, Ordering::Relaxed);
+}
 
 /// DSM knobs shared by the software and hybrid platforms, for ablations.
 #[derive(Debug, Clone, Default)]
@@ -274,6 +322,28 @@ where
     FI: FnOnce(&P, &mut dyn InitWriter),
     FB: Fn(&dyn System, &P) -> R + Send + Sync,
 {
+    run_on_traced_with(engine_kind(), platform, segment_bytes, plan, init, body, trace)
+}
+
+/// [`run_on_traced`] on an explicitly chosen execution backend, bypassing
+/// the process-wide default. Results are byte-identical across backends;
+/// only `Outcome::report::{engine, host_ms}` differ.
+pub fn run_on_traced_with<P, R, FP, FI, FB>(
+    engine: EngineKind,
+    platform: &Platform,
+    segment_bytes: usize,
+    plan: FP,
+    init: FI,
+    body: FB,
+    trace: Option<usize>,
+) -> (Outcome<R>, Option<Arc<TraceBuf>>)
+where
+    P: Send + Sync,
+    R: Send,
+    FP: FnOnce(&mut Alloc) -> P,
+    FI: FnOnce(&P, &mut dyn InitWriter),
+    FB: Fn(&dyn System, &P) -> R + Send + Sync,
+{
     let mut alloc = Alloc::new(segment_bytes);
     let p = plan(&mut alloc);
     let buf = trace.map(|cap| Arc::new(TraceBuf::new(platform.procs(), cap)));
@@ -282,17 +352,17 @@ where
         Platform::Dec => {
             let mut machine = HwMachine::new(HwParams::dec_5000_240(), segment_bytes);
             init(&p, &mut machine);
-            run_hw(machine, 1, &p, body, buf.clone())
+            run_hw(engine, machine, 1, &p, body, buf.clone())
         }
         Platform::Sgi { procs } => {
             let mut machine = HwMachine::new(HwParams::sgi_4d480(*procs), segment_bytes);
             init(&p, &mut machine);
-            run_hw(machine, *procs, &p, body, buf.clone())
+            run_hw(engine, machine, *procs, &p, body, buf.clone())
         }
         Platform::Ah { procs } => {
             let mut machine = HwMachine::new(HwParams::ah(*procs), segment_bytes);
             init(&p, &mut machine);
-            run_hw(machine, *procs, &p, body, buf.clone())
+            run_hw(engine, machine, *procs, &p, body, buf.clone())
         }
         Platform::AsCluster {
             procs,
@@ -310,7 +380,7 @@ where
             }
             let mut machine = DsmMachine::new(params, segment_bytes, tuning);
             init(&p, &mut machine);
-            run_dsm(machine, *procs, &p, body, buf.clone())
+            run_dsm(engine, machine, *procs, &p, body, buf.clone())
         }
         Platform::Hs {
             nodes,
@@ -325,7 +395,7 @@ where
             let procs = params.procs();
             let mut machine = HsMachine::new(params, segment_bytes, tuning);
             init(&p, &mut machine);
-            run_hs(machine, procs, &p, body, buf.clone())
+            run_hs(engine, machine, procs, &p, body, buf.clone())
         }
     };
     (out, buf)
@@ -357,6 +427,7 @@ fn collect<R>(results: Mutex<Vec<Option<R>>>) -> Vec<R> {
 }
 
 fn run_hw<P, R, FB>(
+    engine: EngineKind,
     mut machine: HwMachine,
     procs: usize,
     p: &P,
@@ -371,18 +442,26 @@ where
     if let Some(buf) = &trace {
         machine.set_tracer(Sink::new(buf.clone()));
     }
-    let mut engine = Engine::new(machine, procs);
+    let kind = engine;
+    let mut engine = AnyEngine::new(engine, machine, procs);
+    if OP_TRACE.load(Ordering::Relaxed) {
+        engine = engine.with_op_trace(true);
+    }
     if let Some(buf) = &trace {
         engine = engine.with_tracer(buf.clone());
     }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let started = Instant::now();
     let run = engine.run(|ctx| {
         let sys = HwSys::new(ctx);
         let out = body(&sys, p);
         results.lock()[ctx.id()] = Some(out);
     });
+    let host_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut report = RunReport {
         procs,
+        engine: kind,
+        host_ms,
         cycles: run.time(),
         proc_cycles: run.clocks.clone(),
         ..Default::default()
@@ -392,10 +471,12 @@ where
     Outcome {
         results: collect(results),
         report,
+        op_trace: run.op_trace,
     }
 }
 
 fn run_dsm<P, R, FB>(
+    engine: EngineKind,
     mut machine: DsmMachine,
     procs: usize,
     p: &P,
@@ -411,8 +492,12 @@ where
         machine.set_tracer(Sink::new(buf.clone()));
     }
     let budget = machine.watchdog_budget;
+    let kind = engine;
     let mut engine =
-        Engine::new(machine, procs).with_diagnostics(|m: &DsmMachine| m.diagnostics());
+        AnyEngine::new(engine, machine, procs).with_diagnostics(|m: &DsmMachine| m.diagnostics());
+    if OP_TRACE.load(Ordering::Relaxed) {
+        engine = engine.with_op_trace(true);
+    }
     if let Some(b) = budget {
         engine = engine.with_cycle_budget(b);
     }
@@ -420,13 +505,17 @@ where
         engine = engine.with_tracer(buf.clone());
     }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let started = Instant::now();
     let run = engine.run(|ctx| {
         let sys = DsmSys::new(ctx);
         let out = body(&sys, p);
         results.lock()[ctx.id()] = Some(out);
     });
+    let host_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut report = RunReport {
         procs,
+        engine: kind,
+        host_ms,
         cycles: run.time(),
         proc_cycles: run.clocks.clone(),
         ..Default::default()
@@ -436,10 +525,12 @@ where
     Outcome {
         results: collect(results),
         report,
+        op_trace: run.op_trace,
     }
 }
 
 fn run_hs<P, R, FB>(
+    engine: EngineKind,
     mut machine: HsMachine,
     procs: usize,
     p: &P,
@@ -454,18 +545,26 @@ where
     if let Some(buf) = &trace {
         machine.set_tracer(Sink::new(buf.clone()));
     }
-    let mut engine = Engine::new(machine, procs);
+    let kind = engine;
+    let mut engine = AnyEngine::new(engine, machine, procs);
+    if OP_TRACE.load(Ordering::Relaxed) {
+        engine = engine.with_op_trace(true);
+    }
     if let Some(buf) = &trace {
         engine = engine.with_tracer(buf.clone());
     }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let started = Instant::now();
     let run = engine.run(|ctx| {
         let sys = HsSys::new(ctx);
         let out = body(&sys, p);
         results.lock()[ctx.id()] = Some(out);
     });
+    let host_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut report = RunReport {
         procs,
+        engine: kind,
+        host_ms,
         cycles: run.time(),
         proc_cycles: run.clocks.clone(),
         ..Default::default()
@@ -475,6 +574,7 @@ where
     Outcome {
         results: collect(results),
         report,
+        op_trace: run.op_trace,
     }
 }
 
@@ -490,7 +590,19 @@ pub fn run_workload_traced<W: tmk_parmacs::Workload>(
     w: &W,
     trace: Option<usize>,
 ) -> (Outcome<f64>, Option<Arc<TraceBuf>>) {
-    run_on_traced(
+    run_workload_traced_with(engine_kind(), platform, w, trace)
+}
+
+/// [`run_workload_traced`] on an explicitly chosen execution backend (see
+/// [`run_on_traced_with`]).
+pub fn run_workload_traced_with<W: tmk_parmacs::Workload>(
+    engine: EngineKind,
+    platform: &Platform,
+    w: &W,
+    trace: Option<usize>,
+) -> (Outcome<f64>, Option<Arc<TraceBuf>>) {
+    run_on_traced_with(
+        engine,
         platform,
         w.segment_bytes(),
         |alloc| w.plan(alloc),

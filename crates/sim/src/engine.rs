@@ -1,9 +1,13 @@
-//! The conservative execution-driven engine.
+//! The conservative execution-driven engine: scheduler core shared by both
+//! execution backends, plus the threaded backend itself.
 //!
-//! See the crate-level docs for the execution model. The implementation keeps
-//! all shared state — the user's machine model plus the scheduler core —
-//! under one mutex, with one condition variable per simulated processor for
-//! targeted wakeups.
+//! See the crate-level docs for the execution model. [`Sched`]/[`State`] hold
+//! everything both backends agree on — clocks, stolen-cycle ledger, turn
+//! order, watchdog state, trace sink. The threaded [`Engine`] runs one OS
+//! thread per simulated processor with all shared state under one mutex and
+//! one condition variable per processor for targeted wakeups; the
+//! single-threaded [`CoopEngine`](crate::CoopEngine) in `coop.rs` drives the
+//! same scheduler from an event loop over stackful coroutines.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -12,6 +16,38 @@ use parking_lot::{Condvar, Mutex};
 use tmk_trace::{Category, Sink, TraceBuf};
 
 use crate::Cycle;
+
+/// Machine-state renderer appended to watchdog dumps.
+pub(crate) type DiagFn<M> = Box<dyn Fn(&M) -> String + Send + Sync>;
+
+/// Cause string for the all-blocked deadlock verdict, shared verbatim by
+/// both engines so their abort messages compare byte-equal.
+pub(crate) const DEADLOCK_CAUSE: &str = "simulation deadlock: all live processors are blocked \
+     and no wakeup is pending (lost wakeup or lost message)";
+
+/// Cause string for the cycle-budget (livelock) verdict; shared by both
+/// engines for the same reason.
+pub(crate) fn budget_msg(id: usize, clock_now: Cycle, budget: Cycle) -> String {
+    format!(
+        "simulation watchdog: processor {id} passed the cycle \
+         budget ({clock_now} > {budget}) — livelock or runaway run"
+    )
+}
+
+/// Renders the full watchdog verdict: cause, per-processor dump, optional
+/// machine diagnostics. Both engines emit exactly this.
+pub(crate) fn compose_abort<M>(
+    state: &State<M>,
+    diag: Option<&DiagFn<M>>,
+    cause: &str,
+) -> String {
+    let mut msg = format!("{cause}\n{}", state.sched.dump());
+    if let Some(diag) = diag {
+        msg.push_str("machine diagnostics:\n");
+        msg.push_str(&diag(&state.machine));
+    }
+    msg
+}
 
 /// A deterministic multiprocessor simulation.
 ///
@@ -29,19 +65,28 @@ pub struct Engine<M> {
 /// Cloning is not offered: one `Ctx` per processor, used from that
 /// processor's thread only.
 pub struct Ctx<'e, M> {
-    inner: &'e Inner<M>,
+    backend: Backend<'e, M>,
     id: usize,
     nprocs: usize,
+}
+
+/// Which engine a [`Ctx`] talks to. The threaded backend reaches shared
+/// state through the engine mutex; the cooperative backend reaches the
+/// single-threaded run state and suspends its coroutine instead of parking
+/// a thread.
+enum Backend<'e, M> {
+    Threaded(&'e Inner<M>),
+    Coop(&'e crate::coop::CoopRun<M>),
 }
 
 /// Exclusive view of the machine and scheduler during a [`Ctx::sync`]
 /// operation.
 pub struct Op<'a, M> {
-    state: &'a mut State<M>,
-    id: usize,
-    nprocs: usize,
-    block: bool,
-    block_reason: Option<String>,
+    pub(crate) state: &'a mut State<M>,
+    pub(crate) id: usize,
+    pub(crate) nprocs: usize,
+    pub(crate) block: bool,
+    pub(crate) block_reason: Option<String>,
 }
 
 /// The outcome of [`Engine::run`]: the machine model plus final clocks.
@@ -68,16 +113,16 @@ struct Inner<M> {
     cvs: Box<[Condvar]>,
     /// Renders machine state for the watchdog's diagnostic dump
     /// ([`Engine::with_diagnostics`]).
-    diag: Option<Box<dyn Fn(&M) -> String + Send + Sync>>,
+    diag: Option<DiagFn<M>>,
 }
 
-struct State<M> {
-    machine: M,
-    sched: Sched,
+pub(crate) struct State<M> {
+    pub(crate) machine: M,
+    pub(crate) sched: Sched,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Status {
+pub(crate) enum Status {
     /// Runnable: either executing local code or waiting for its sync turn.
     Ready,
     /// Waiting to be woken by another processor via [`Op::wake_at`].
@@ -86,27 +131,27 @@ enum Status {
     Finished,
 }
 
-struct Sched {
+pub(crate) struct Sched {
     /// Optional (pid, clock-at-op-start) trace, for debugging determinism.
-    trace: Option<Vec<(usize, Cycle)>>,
-    clocks: Vec<Cycle>,
+    pub(crate) trace: Option<Vec<(usize, Cycle)>>,
+    pub(crate) clocks: Vec<Cycle>,
     /// Cycles charged to a processor by remote request handlers, folded into
     /// its clock at its next scheduling point.
-    stolen: Vec<Cycle>,
-    status: Vec<Status>,
+    pub(crate) stolen: Vec<Cycle>,
+    pub(crate) status: Vec<Status>,
     /// What each blocked processor is waiting for ([`Op::block_on`]), for
     /// the watchdog dump.
-    block_reason: Vec<Option<String>>,
+    pub(crate) block_reason: Vec<Option<String>>,
     /// Processors parked inside `sync` waiting for their turn.
-    waiting_turn: Vec<bool>,
+    pub(crate) waiting_turn: Vec<bool>,
     /// A processor is currently executing a sync operation.
-    op_active: bool,
-    poisoned: bool,
+    pub(crate) op_active: bool,
+    pub(crate) poisoned: bool,
     /// Watchdog: abort when any processor's clock passes this.
-    budget: Option<Cycle>,
+    pub(crate) budget: Option<Cycle>,
     /// Watchdog verdict; doubles as the panic message of every processor
     /// unwound by it.
-    fatal: Option<String>,
+    pub(crate) fatal: Option<String>,
     /// Time-attribution sink ([`Engine::with_tracer`]); disabled by
     /// default, in which case every charge below is a no-op.
     ///
@@ -116,11 +161,11 @@ struct Sched {
     /// [`Sched::apply_stolen`] or [`Op::wake_at`], and each charges the
     /// sink *before* incrementing the clock (so spans start at the
     /// pre-increment time).
-    tracer: Sink,
+    pub(crate) tracer: Sink,
 }
 
 impl Sched {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Sched {
             trace: std::env::var_os("TMK_ENGINE_TRACE").map(|_| Vec::new()),
             clocks: vec![0; n],
@@ -137,7 +182,7 @@ impl Sched {
     }
 
     /// The per-processor half of the watchdog dump.
-    fn dump(&self) -> String {
+    pub(crate) fn dump(&self) -> String {
         let mut s = String::new();
         for p in 0..self.clocks.len() {
             let state = match self.status[p] {
@@ -155,17 +200,17 @@ impl Sched {
     }
 
     /// The message every unwinding processor should panic with.
-    fn poison_msg(&self) -> String {
+    pub(crate) fn poison_msg(&self) -> String {
         self.fatal
             .clone()
             .unwrap_or_else(|| "simulation poisoned by a panic on another processor".into())
     }
 
-    fn eff_clock(&self, p: usize) -> Cycle {
+    pub(crate) fn eff_clock(&self, p: usize) -> Cycle {
         self.clocks[p] + self.stolen[p]
     }
 
-    fn apply_stolen(&mut self, p: usize) {
+    pub(crate) fn apply_stolen(&mut self, p: usize) {
         // Ledger only, no span event: the *total* stolen by handlers from
         // each processor is deterministic, but how many deposits a single
         // fold happens to collect depends on host thread interleaving, and
@@ -178,7 +223,7 @@ impl Sched {
     /// The processor that should execute the next sync operation: the Ready
     /// processor with the minimum effective clock (ties broken by id).
     /// Returns `None` when no processor is Ready.
-    fn min_ready(&self) -> Option<usize> {
+    pub(crate) fn min_ready(&self) -> Option<usize> {
         let mut best: Option<(Cycle, usize)> = None;
         for p in 0..self.clocks.len() {
             if self.status[p] == Status::Ready {
@@ -192,11 +237,11 @@ impl Sched {
     }
 
     /// May processor `p` execute a sync operation right now?
-    fn is_turn(&self, p: usize) -> bool {
+    pub(crate) fn is_turn(&self, p: usize) -> bool {
         !self.op_active && self.min_ready() == Some(p)
     }
 
-    fn all_done(&self) -> bool {
+    pub(crate) fn all_done(&self) -> bool {
         self.status.iter().all(|&s| s == Status::Finished)
     }
 }
@@ -259,6 +304,14 @@ impl<M: Send> Engine<M> {
         self
     }
 
+    /// Forces the per-op `(pid, clock)` trace ([`RunResult::op_trace`]) on
+    /// or off, overriding the `TMK_ENGINE_TRACE` environment fallback.
+    pub fn with_op_trace(mut self, on: bool) -> Self {
+        let inner = Arc::get_mut(&mut self.inner).expect("configured before run");
+        inner.state.get_mut().sched.trace = on.then(Vec::new);
+        self
+    }
+
     /// Runs `body` SPMD-style on every simulated processor and returns the
     /// machine plus final clocks once all bodies have returned.
     ///
@@ -276,12 +329,18 @@ impl<M: Send> Engine<M> {
 
         std::thread::scope(|scope| {
             for id in 0..nprocs {
-                let ctx = Ctx { inner, id, nprocs };
                 let body = &body;
                 let first_panic = &first_panic;
                 scope.spawn(move || {
+                    // Built inside the thread: a Ctx never crosses threads
+                    // (the coop backend relies on that).
+                    let ctx = Ctx {
+                        backend: Backend::Threaded(inner),
+                        id,
+                        nprocs,
+                    };
                     let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
-                    let mut st = ctx.inner.state.lock();
+                    let mut st = inner.state.lock();
                     st.sched.apply_stolen(id);
                     st.sched.status[id] = Status::Finished;
                     if let Err(payload) = outcome {
@@ -291,11 +350,11 @@ impl<M: Send> Engine<M> {
                             *slot = Some(payload);
                         }
                         // Wake everyone so they can observe the poison.
-                        for cv in ctx.inner.cvs.iter() {
+                        for cv in inner.cvs.iter() {
                             cv.notify_all();
                         }
                     } else {
-                        ctx.inner.notify_next(&mut st);
+                        inner.notify_next(&mut st);
                     }
                 });
             }
@@ -343,11 +402,7 @@ impl<M> Inner<M> {
                     && st.sched.status.contains(&Status::Blocked)
                     && !st.sched.status.contains(&Status::Ready)
                 {
-                    self.watchdog_abort(
-                        st,
-                        "simulation deadlock: all live processors are blocked \
-                         and no wakeup is pending (lost wakeup or lost message)",
-                    );
+                    self.watchdog_abort(st, DEADLOCK_CAUSE);
                 }
             }
         }
@@ -359,11 +414,7 @@ impl<M> Inner<M> {
     /// unwinds with the verdict as its panic message, which reaches the
     /// caller of [`Engine::run`] via the first-panic channel.
     fn watchdog_abort(&self, st: &mut State<M>, cause: &str) {
-        let mut msg = format!("{cause}\n{}", st.sched.dump());
-        if let Some(diag) = &self.diag {
-            msg.push_str("machine diagnostics:\n");
-            msg.push_str(&diag(&st.machine));
-        }
+        let msg = compose_abort(st, self.diag.as_ref(), cause);
         st.sched.fatal = Some(msg);
         st.sched.poisoned = true;
         for cv in self.cvs.iter() {
@@ -373,6 +424,15 @@ impl<M> Inner<M> {
 }
 
 impl<'e, M> Ctx<'e, M> {
+    /// Builds the cooperative backend's processor handle (`coop.rs` only).
+    pub(crate) fn for_coop(run: &'e crate::coop::CoopRun<M>, id: usize, nprocs: usize) -> Self {
+        Ctx {
+            backend: Backend::Coop(run),
+            id,
+            nprocs,
+        }
+    }
+
     /// This processor's id, in `0..nprocs`.
     pub fn id(&self) -> usize {
         self.id
@@ -388,21 +448,18 @@ impl<'e, M> Ctx<'e, M> {
     /// Local time advances without waiting for other processors; ordering is
     /// only enforced for [`sync`](Self::sync) operations.
     pub fn advance(&self, cycles: Cycle) {
-        let mut st = self.inner.state.lock();
-        st.sched.apply_stolen(self.id);
-        st.sched
-            .tracer
-            .charge_span(self.id, Category::Compute, st.sched.clocks[self.id], cycles);
-        st.sched.clocks[self.id] += cycles;
-        // Our clock moving forward may have made another processor the
-        // minimum; hand the turn over if it is parked.
-        self.inner.notify_next(&mut st);
+        match self.backend {
+            Backend::Threaded(inner) => inner.ctx_advance(self.id, cycles),
+            Backend::Coop(run) => crate::coop::ctx_advance(run, self.id, cycles),
+        }
     }
 
     /// Current local clock (effective, including pending stolen cycles).
     pub fn now(&self) -> Cycle {
-        let st = self.inner.state.lock();
-        st.sched.eff_clock(self.id)
+        match self.backend {
+            Backend::Threaded(inner) => inner.state.lock().sched.eff_clock(self.id),
+            Backend::Coop(run) => crate::coop::ctx_now(run, self.id),
+        }
     }
 
     /// Executes a globally ordered operation against the machine model.
@@ -420,27 +477,50 @@ impl<'e, M> Ctx<'e, M> {
     /// processor. Must not be called reentrantly from inside an `Op` closure
     /// (the engine would deadlock on its own mutex).
     pub fn sync<R>(&self, f: impl FnOnce(&mut Op<'_, M>) -> R) -> R {
-        let mut st = self.inner.state.lock();
-        st.sched.apply_stolen(self.id);
+        match self.backend {
+            Backend::Threaded(inner) => inner.ctx_sync(self.id, self.nprocs, f),
+            Backend::Coop(run) => crate::coop::ctx_sync(run, self.id, self.nprocs, f),
+        }
+    }
+}
+
+impl<M> Inner<M> {
+    /// Threaded backend of [`Ctx::advance`].
+    fn ctx_advance(&self, id: usize, cycles: Cycle) {
+        let mut st = self.state.lock();
+        st.sched.apply_stolen(id);
+        st.sched
+            .tracer
+            .charge_span(id, Category::Compute, st.sched.clocks[id], cycles);
+        st.sched.clocks[id] += cycles;
+        // Our clock moving forward may have made another processor the
+        // minimum; hand the turn over if it is parked.
+        self.notify_next(&mut st);
+    }
+
+    /// Threaded backend of [`Ctx::sync`].
+    fn ctx_sync<R>(&self, id: usize, nprocs: usize, f: impl FnOnce(&mut Op<'_, M>) -> R) -> R {
+        let mut st = self.state.lock();
+        st.sched.apply_stolen(id);
 
         // Wait for our turn.
-        st.sched.waiting_turn[self.id] = true;
-        while !st.sched.is_turn(self.id) {
+        st.sched.waiting_turn[id] = true;
+        while !st.sched.is_turn(id) {
             if st.sched.poisoned {
-                st.sched.waiting_turn[self.id] = false;
+                st.sched.waiting_turn[id] = false;
                 panic!("{}", st.sched.poison_msg());
             }
-            self.inner.cvs[self.id].wait(&mut st);
+            self.cvs[id].wait(&mut st);
         }
-        st.sched.waiting_turn[self.id] = false;
+        st.sched.waiting_turn[id] = false;
         st.sched.op_active = true;
         // Stolen cycles may have arrived while we waited for the turn;
         // fold them in so the operation's start time is the effective
         // clock regardless of wall-clock arrival order (determinism).
-        st.sched.apply_stolen(self.id);
-        let clock_now = st.sched.clocks[self.id];
+        st.sched.apply_stolen(id);
+        let clock_now = st.sched.clocks[id];
         if let Some(trace) = st.sched.trace.as_mut() {
-            trace.push((self.id, clock_now));
+            trace.push((id, clock_now));
         }
         if let Some(budget) = st.sched.budget {
             if clock_now > budget {
@@ -448,22 +528,15 @@ impl<'e, M> Ctx<'e, M> {
                 // budget (e.g. an endless fault-retry loop). Take the whole
                 // simulation down with a diagnostic instead of spinning.
                 st.sched.op_active = false;
-                self.inner.watchdog_abort(
-                    &mut st,
-                    &format!(
-                        "simulation watchdog: processor {} passed the cycle \
-                         budget ({clock_now} > {budget}) — livelock or runaway run",
-                        self.id
-                    ),
-                );
+                self.watchdog_abort(&mut st, &budget_msg(id, clock_now, budget));
                 panic!("{}", st.sched.poison_msg());
             }
         }
 
         let mut op = Op {
             state: &mut st,
-            id: self.id,
-            nprocs: self.nprocs,
+            id,
+            nprocs,
             block: false,
             block_reason: None,
         };
@@ -473,18 +546,18 @@ impl<'e, M> Ctx<'e, M> {
 
         st.sched.op_active = false;
         if block {
-            st.sched.status[self.id] = Status::Blocked;
-            st.sched.block_reason[self.id] = block_reason;
-            self.inner.notify_next(&mut st);
-            while st.sched.status[self.id] == Status::Blocked {
+            st.sched.status[id] = Status::Blocked;
+            st.sched.block_reason[id] = block_reason;
+            self.notify_next(&mut st);
+            while st.sched.status[id] == Status::Blocked {
                 if st.sched.poisoned {
                     panic!("{}", st.sched.poison_msg());
                 }
-                self.inner.cvs[self.id].wait(&mut st);
+                self.cvs[id].wait(&mut st);
             }
-            st.sched.apply_stolen(self.id);
+            st.sched.apply_stolen(id);
         } else {
-            self.inner.notify_next(&mut st);
+            self.notify_next(&mut st);
         }
         result
     }
@@ -601,7 +674,7 @@ impl<'a, M> Op<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::VecDeque;
+    use crate::testutil::{lock, panic_message, unlock, TestLock};
 
     #[test]
     fn single_proc_advances() {
@@ -643,52 +716,6 @@ mod tests {
             });
         });
         assert_eq!(r.machine.0, vec![0, 1, 2]);
-    }
-
-    /// A tiny spin-free lock implemented with block/wake, the pattern the
-    /// machine crates use.
-    #[derive(Default)]
-    struct TestLock {
-        held: bool,
-        queue: VecDeque<usize>,
-        acquisitions: Vec<usize>,
-    }
-
-    fn lock(ctx: &Ctx<'_, TestLock>) {
-        loop {
-            let got = ctx.sync(|op| {
-                let me = op.id();
-                let now = op.now();
-                let m = op.machine();
-                if !m.held {
-                    m.held = true;
-                    m.acquisitions.push(me);
-                    true
-                } else {
-                    m.queue.push_back(me);
-                    let _ = now;
-                    op.block();
-                    false
-                }
-            });
-            if got {
-                return;
-            }
-        }
-    }
-
-    fn unlock(ctx: &Ctx<'_, TestLock>) {
-        ctx.sync(|op| {
-            let now = op.now();
-            let next = {
-                let m = op.machine();
-                m.held = false;
-                m.queue.pop_front()
-            };
-            if let Some(p) = next {
-                op.wake_at(p, now + 5);
-            }
-        });
     }
 
     #[test]
@@ -821,13 +848,6 @@ mod tests {
             // Processor 0 parks forever; the poison must unwind it.
             ctx.sync(|op| op.block());
         });
-    }
-
-    fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
-        p.downcast_ref::<String>()
-            .cloned()
-            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_default()
     }
 
     #[test]

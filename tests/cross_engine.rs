@@ -1,0 +1,153 @@
+//! Cross-engine equivalence: the threaded engine (one OS thread per
+//! simulated processor) and the cooperative engine (single-threaded event
+//! loop over stackful coroutines) are two implementations of the same
+//! conservative simulation semantics, and must be byte-for-byte
+//! interchangeable. These tests pin that down on randomized runs — LRC and
+//! IVY, clean and lossy networks, GC on and off — and on the watchdog
+//! paths, where even the panic messages must compare equal.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use tmk::apps::{sor, tsp};
+use tmk::dsm::RetransmitPolicy;
+use tmk::machines::{
+    run_workload_traced_with, set_op_trace, DsmProtocol, DsmTuning, Platform,
+};
+use tmk::net::FaultPlan;
+use tmk::parmacs::Workload;
+use tmk::sim::EngineKind;
+
+fn dsm_platform(procs: usize, ivy: bool, seed: u64, drop_permille: u32, gc: bool) -> Platform {
+    Platform::AsCluster {
+        procs,
+        part1: false,
+        so: None,
+        tuning: DsmTuning {
+            protocol: if ivy { DsmProtocol::Ivy } else { DsmProtocol::Lrc },
+            faults: (drop_permille > 0)
+                .then(|| FaultPlan::drop_rate(seed, drop_permille as f64 / 1000.0)),
+            reliability: (drop_permille > 0).then(RetransmitPolicy::default),
+            // Safety net far above any legitimate run, in case a random
+            // configuration ever livelocks retransmission.
+            watchdog_budget: Some(4_000_000_000_000),
+            // Tiny inputs carry little metadata; threshold 1 collects at
+            // every barrier, exercising the GC protocol end to end.
+            gc: gc.then_some(1),
+            ..Default::default()
+        },
+    }
+}
+
+/// Everything one engine produced for a run, flattened for comparison:
+/// the report JSON with the host-side fields (`engine`, `host_ms`)
+/// normalized away, the per-processor checksums, the engine op trace, and
+/// the six-category attribution ledger.
+fn fingerprint<W: Workload>(kind: EngineKind, p: &Platform, w: &W) -> String {
+    let (out, buf) = run_workload_traced_with(kind, p, w, Some(0));
+    let mut report = out.report.clone();
+    report.engine = EngineKind::default();
+    report.host_ms = 0.0;
+    format!(
+        "report={}\nchecksums={:?}\nops={:?}\nbreakdown={:?}",
+        report.to_json().render(),
+        out.results,
+        out.op_trace,
+        buf.expect("tracing armed").breakdown(),
+    )
+}
+
+proptest! {
+    // Each case simulates the same (tiny) run once per engine; a handful of
+    // cases covers LRC/IVY x clean/lossy x GC on/off x 2-4 processors.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn engines_agree_on_random_dsm_runs(
+        procs in 2usize..5,
+        ivy in any::<bool>(),
+        seed in any::<u64>(),
+        drop_permille in 0u32..31,
+        gc in any::<bool>(),
+        use_tsp in any::<bool>(),
+    ) {
+        set_op_trace(true);
+        let p = dsm_platform(procs, ivy, seed, drop_permille, gc);
+        let (threaded, coop) = if use_tsp {
+            let w = tsp::Tsp::new(8);
+            (fingerprint(EngineKind::Threaded, &p, &w), fingerprint(EngineKind::Coop, &p, &w))
+        } else {
+            let w = sor::Sor::tiny();
+            (fingerprint(EngineKind::Threaded, &p, &w), fingerprint(EngineKind::Coop, &p, &w))
+        };
+        prop_assert_eq!(&threaded, &coop, "{}: engines diverge", p.key());
+    }
+}
+
+/// The panic message a run dies with on the given engine.
+fn verdict<W: Workload + std::panic::RefUnwindSafe>(
+    kind: EngineKind,
+    p: &Platform,
+    w: &W,
+) -> String {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        run_workload_traced_with(kind, p, w, None)
+    }));
+    let payload = r.expect_err("the run must abort");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("watchdog panics carry a message")
+}
+
+#[test]
+fn budget_watchdog_verdicts_match_across_engines() {
+    // A budget far below any real finishing time: the watchdog fires
+    // mid-run and dumps every processor's state plus machine diagnostics.
+    let p = Platform::AsCluster {
+        procs: 3,
+        part1: false,
+        so: None,
+        tuning: DsmTuning {
+            watchdog_budget: Some(10_000),
+            ..Default::default()
+        },
+    };
+    let w = sor::Sor::tiny();
+    let threaded = verdict(EngineKind::Threaded, &p, &w);
+    let coop = verdict(EngineKind::Coop, &p, &w);
+    assert!(
+        threaded.contains("passed the cycle budget"),
+        "got: {threaded}"
+    );
+    assert!(threaded.contains("machine diagnostics"), "got: {threaded}");
+    assert_eq!(threaded, coop, "watchdog dumps must be byte-identical");
+}
+
+#[test]
+fn deadlock_verdicts_match_across_engines() {
+    // Every lock-class message dropped, no retransmission: the first
+    // remote acquire hangs its cascade and the all-blocked detector aborts
+    // the run with a dump naming each blocked processor and what it waits
+    // on.
+    let p = Platform::AsCluster {
+        procs: 2,
+        part1: false,
+        so: None,
+        tuning: DsmTuning {
+            faults: Some(
+                FaultPlan::drop_rate(7, 1.0)
+                    .with_class_mask(tmk::dsm::MsgClass::SyncLock.bit()),
+            ),
+            ..Default::default()
+        },
+    };
+    let w = tsp::Tsp::new(8);
+    let threaded = verdict(EngineKind::Threaded, &p, &w);
+    let coop = verdict(EngineKind::Coop, &p, &w);
+    assert!(threaded.contains("simulation deadlock"), "got: {threaded}");
+    assert!(threaded.contains("blocked"), "got: {threaded}");
+    assert_eq!(threaded, coop, "deadlock dumps must be byte-identical");
+}

@@ -96,9 +96,16 @@ fn tracing_never_alters_the_simulation() {
     for p in [Platform::treadmarks(4), Platform::hs_sim(2, 2), Platform::Sgi { procs: 4 }] {
         let plain = run_workload(&p, &w);
         let (traced, buf) = run_workload_traced(&p, &w, Some(1 << 16));
+        // Normalize the host-side wall time: it is the one field allowed
+        // to differ between two runs of the same simulation.
+        let sim_json = |r: &tmk::machines::RunReport| {
+            let mut r = r.clone();
+            r.host_ms = 0.0;
+            r.to_json().render()
+        };
         assert_eq!(
-            plain.report.to_json().render(),
-            traced.report.to_json().render(),
+            sim_json(&plain.report),
+            sim_json(&traced.report),
             "{}: traced report deviates from untraced",
             p.name()
         );

@@ -1,0 +1,708 @@
+//! Minimal stackful coroutines — "resumable continuations" — for the
+//! cooperative simulation engine.
+//!
+//! A [`Coro`] owns a heap-allocated stack on which a closure runs until it
+//! calls [`Yielder::suspend`]; control then returns to whoever called
+//! [`Coro::resume`], and the next `resume` continues the closure exactly
+//! where it left off. Everything happens on one OS thread: there is no
+//! synchronization, a switch is a handful of register moves.
+//!
+//! On x86_64 Unix the switch is a small hand-written assembly routine that
+//! saves the SysV callee-saved registers and swaps stack pointers (~tens of
+//! nanoseconds). Every other target gets a portable fallback that maps each
+//! coroutine onto a parked OS thread with a mutex/condvar handshake — slower,
+//! but with identical semantics, so the engine behaves the same everywhere.
+//!
+//! Design notes for the fast path:
+//!
+//! * Stacks are plain heap allocations (default sizing is the caller's
+//!   business). Linux commits pages lazily, so a generous stack costs
+//!   address space, not resident memory. A canary word at the low end of
+//!   the region gives best-effort overflow detection (checked whenever a
+//!   stack is recycled); there are no guard pages.
+//! * Finished stacks are returned to a thread-local pool and reused by the
+//!   next coroutine of the same size, so a simulation that runs thousands
+//!   of processors over its lifetime allocates only a handful of stacks.
+//! * Cancellation is a forced unwind: dropping (or [`Coro::cancel`]-ing) a
+//!   suspended coroutine resumes it one last time with a flag that makes
+//!   `suspend` raise a [`ForcedUnwind`] sentinel via
+//!   [`std::panic::resume_unwind`] — destructors on the coroutine stack run,
+//!   the panic hook stays silent, and the unwind is caught at the coroutine
+//!   boundary before it could ever reach the assembly frame.
+//! * Unwinding never crosses the switch: the coroutine entry wraps the
+//!   closure in `catch_unwind` and hands panic payloads back by value.
+//! * The switch preserves exactly the SysV callee-saved integer registers
+//!   (rbp, rbx, r12–r15) plus the stack pointer. Floating-point control
+//!   state (mxcsr, x87 control word) is not swapped; nothing in this
+//!   workspace changes rounding modes, and code that does must not hold a
+//!   non-default mode across a `suspend`.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Sentinel panic payload used to unwind a cancelled coroutine's stack.
+///
+/// Raised by [`Yielder::suspend`] (via [`std::panic::resume_unwind`], so the
+/// panic hook prints nothing) when the coroutine's owner cancelled it. User
+/// code must let it pass through — catching it and continuing would turn
+/// cancellation into a hang.
+pub struct ForcedUnwind;
+
+/// What a [`Coro::resume`] call observed.
+pub enum Resume {
+    /// The coroutine called [`Yielder::suspend`]; resume it again later.
+    Yielded,
+    /// The closure returned (payload `None`) or panicked (payload `Some`,
+    /// ready for [`std::panic::resume_unwind`]). The coroutine may not be
+    /// resumed again.
+    Finished(Option<Box<dyn Any + Send>>),
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux", not(tmk_coro_threads)))]
+mod imp {
+    use super::*;
+    use std::alloc::Layout;
+    use std::cell::{Cell, RefCell};
+
+    /// Low-word canary: detects (best-effort) a coroutine that ran off the
+    /// bottom of its stack region.
+    const CANARY: u64 = 0x7461_636b_5f65_6e64; // "tack_end"
+
+    /// Max stacks kept per thread for reuse.
+    const POOL_CAP: usize = 64;
+
+    std::arch::global_asm!(
+        ".text",
+        ".balign 16",
+        // tmk_coro_switch(save: *mut *mut u8 /* rdi */, to: *mut u8 /* rsi */)
+        //
+        // Saves the SysV callee-saved registers on the current stack, stores
+        // the resulting stack pointer through `save`, installs `to` as the
+        // stack pointer and restores the registers the matching earlier
+        // switch (or the seed frame) left there. Returns on the new stack.
+        ".globl tmk_coro_switch",
+        ".hidden tmk_coro_switch",
+        "tmk_coro_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        // First activation of a coroutine lands here: the seed frame put the
+        // Core pointer in r12 (see `seed_stack`). Realign and enter Rust;
+        // `coro_entry` never returns (its final act is a switch away from
+        // this stack), so fall into ud2 if it somehow does.
+        ".globl tmk_coro_entry",
+        ".hidden tmk_coro_entry",
+        "tmk_coro_entry:",
+        "mov rdi, r12",
+        "and rsp, -16",
+        "call {entry}",
+        "ud2",
+        entry = sym coro_entry,
+    );
+
+    extern "C" {
+        fn tmk_coro_switch(save: *mut *mut u8, to: *mut u8);
+        fn tmk_coro_entry();
+    }
+
+    /// Shared between a coroutine and its owner. Boxed and never moved while
+    /// the coroutine exists (the seed frame holds a raw pointer to it).
+    struct Core {
+        /// Owner-side stack pointer, saved on every entry into the coroutine.
+        caller_sp: Cell<*mut u8>,
+        /// Coroutine-side stack pointer: the seed frame before the first
+        /// resume, then wherever the last `suspend` saved it.
+        coro_sp: Cell<*mut u8>,
+        /// Set by `cancel`: the next `suspend` return raises [`ForcedUnwind`].
+        cancel: Cell<bool>,
+        finished: Cell<bool>,
+        /// A non-cancellation panic that escaped the closure.
+        payload: Cell<Option<Box<dyn Any + Send>>>,
+        /// The closure, consumed by the first activation.
+        entry: Cell<Option<Box<dyn FnOnce()>>>,
+    }
+
+    /// Rust-side first activation; `core` comes in from the seed frame.
+    extern "C" fn coro_entry(core: *const Core) -> ! {
+        let core = unsafe { &*core };
+        let f = core.entry.take().expect("fresh coroutine has its closure");
+        if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+            if !p.is::<ForcedUnwind>() {
+                core.payload.set(Some(p));
+            }
+        }
+        core.finished.set(true);
+        // Leave this stack for the last time. The save slot is scratch:
+        // nothing ever switches back into a finished coroutine.
+        let mut scratch: *mut u8 = std::ptr::null_mut();
+        unsafe { tmk_coro_switch(&mut scratch, core.caller_sp.get()) };
+        unreachable!("finished coroutine was resumed");
+    }
+
+    struct Stack {
+        ptr: *mut u8,
+        bytes: usize,
+    }
+
+    impl Stack {
+        fn layout(bytes: usize) -> Layout {
+            Layout::from_size_align(bytes, 64).expect("valid stack layout")
+        }
+
+        fn obtain(bytes: usize) -> Stack {
+            // Round up so pooling by size has few distinct classes and the
+            // top stays 16-aligned.
+            let bytes = bytes.max(16 * 1024).next_multiple_of(4096);
+            if let Some(s) = POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                p.iter()
+                    .rposition(|s| s.bytes == bytes)
+                    .map(|i| p.swap_remove(i))
+            }) {
+                s.check_canary();
+                return s;
+            }
+            let ptr = unsafe { std::alloc::alloc(Self::layout(bytes)) };
+            assert!(!ptr.is_null(), "coroutine stack allocation failed");
+            unsafe { (ptr as *mut u64).write(CANARY) };
+            Stack { ptr, bytes }
+        }
+
+        fn recycle(self) {
+            self.check_canary();
+            POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.len() < POOL_CAP {
+                    p.push(self);
+                }
+                // else: drop, freeing the allocation.
+            });
+        }
+
+        /// One past the highest usable byte; 16-aligned.
+        fn top(&self) -> *mut u8 {
+            unsafe { self.ptr.add(self.bytes) }
+        }
+
+        fn check_canary(&self) {
+            if unsafe { (self.ptr as *const u64).read() } != CANARY {
+                // The region below the stack limit was overwritten: the
+                // coroutine overflowed. State is unrecoverable.
+                eprintln!("fatal: coroutine stack overflow detected (canary clobbered)");
+                std::process::abort();
+            }
+        }
+    }
+
+    impl Drop for Stack {
+        fn drop(&mut self) {
+            unsafe { std::alloc::dealloc(self.ptr, Self::layout(self.bytes)) };
+        }
+    }
+
+    thread_local! {
+        static POOL: RefCell<Vec<Stack>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Writes the frame `tmk_coro_switch` will restore on first entry:
+    /// return address `tmk_coro_entry`, r12 = the Core pointer, every other
+    /// callee-saved register zero. Returns the initial coroutine stack
+    /// pointer.
+    fn seed_stack(stack: &Stack, core: *const Core) -> *mut u8 {
+        unsafe {
+            let top = stack.top() as *mut u64;
+            top.sub(1).write(tmk_coro_entry as *const () as u64); // ret -> entry
+            top.sub(2).write(0); // rbp
+            top.sub(3).write(0); // rbx
+            top.sub(4).write(core as u64); // r12
+            top.sub(5).write(0); // r13
+            top.sub(6).write(0); // r14
+            top.sub(7).write(0); // r15
+            top.sub(7) as *mut u8
+        }
+    }
+
+    /// A suspended (or not-yet-started) stackful coroutine.
+    pub struct Coro {
+        core: Box<Core>,
+        stack: Option<Stack>,
+        started: bool,
+    }
+
+    impl Coro {
+        /// Creates a coroutine that will run `f` on its own `stack_bytes`
+        /// stack once first resumed.
+        ///
+        /// # Safety
+        ///
+        /// `f` may borrow data that outlives the `Coro` value but not the
+        /// `'static` lifetime (the closure's lifetime is erased). The caller
+        /// must drop (or run to completion) the coroutine before anything
+        /// `f` captures goes out of scope; `Drop` force-unwinds a suspended
+        /// coroutine, so ordinary drop order satisfies this.
+        pub unsafe fn new_unchecked<F>(stack_bytes: usize, f: F) -> Coro
+        where
+            F: FnOnce() + Send,
+        {
+            let f: Box<dyn FnOnce() + Send> = Box::new(f);
+            let f: Box<dyn FnOnce()> = std::mem::transmute::<
+                Box<dyn FnOnce() + Send + '_>,
+                Box<dyn FnOnce()>,
+            >(f);
+            let stack = Stack::obtain(stack_bytes);
+            let core = Box::new(Core {
+                caller_sp: Cell::new(std::ptr::null_mut()),
+                coro_sp: Cell::new(std::ptr::null_mut()),
+                cancel: Cell::new(false),
+                finished: Cell::new(false),
+                payload: Cell::new(None),
+                entry: Cell::new(Some(f)),
+            });
+            core.coro_sp.set(seed_stack(&stack, &*core));
+            Coro {
+                core,
+                stack: Some(stack),
+                started: false,
+            }
+        }
+
+        /// Runs the coroutine until it suspends or finishes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the coroutine already finished.
+        pub fn resume(&mut self) -> Resume {
+            assert!(!self.core.finished.get(), "resume on a finished coroutine");
+            self.started = true;
+            unsafe { tmk_coro_switch(self.core.caller_sp.as_ptr(), self.core.coro_sp.get()) };
+            if self.core.finished.get() {
+                Resume::Finished(self.core.payload.take())
+            } else {
+                Resume::Yielded
+            }
+        }
+
+        /// A [`Yielder`] for use *inside* this coroutine's closure.
+        pub fn yielder(&self) -> Yielder {
+            Yielder { core: &*self.core }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.core.finished.get()
+        }
+
+        /// Cancels the coroutine: an unstarted one simply drops its closure;
+        /// a suspended one is resumed once more with the cancel flag set, so
+        /// its stack unwinds (running destructors) via [`ForcedUnwind`].
+        /// Idempotent; called automatically on drop.
+        pub fn cancel(&mut self) {
+            if self.core.finished.get() {
+                return;
+            }
+            if !self.started {
+                drop(self.core.entry.take());
+                self.core.finished.set(true);
+                return;
+            }
+            self.core.cancel.set(true);
+            match self.resume() {
+                Resume::Finished(_) => {}
+                Resume::Yielded => {
+                    // `suspend` re-raises on every return while the flag is
+                    // set; yielding again means user code swallowed the
+                    // sentinel. No way to reclaim the stack safely.
+                    eprintln!("fatal: cancelled coroutine suspended again (ForcedUnwind swallowed)");
+                    std::process::abort();
+                }
+            }
+        }
+    }
+
+    impl Drop for Coro {
+        fn drop(&mut self) {
+            self.cancel();
+            if let Some(stack) = self.stack.take() {
+                stack.recycle();
+            }
+        }
+    }
+
+    /// Handle used inside a coroutine to give control back to the resumer.
+    /// `Copy`, so closures capture it by value.
+    #[derive(Clone, Copy)]
+    pub struct Yielder {
+        core: *const Core,
+    }
+
+    impl Yielder {
+        /// Suspends the running coroutine; returns when the owner resumes
+        /// it, or unwinds with [`ForcedUnwind`] if it was cancelled instead.
+        ///
+        /// Must only be called from inside the coroutine this yielder came
+        /// from, on the thread that owns it.
+        pub fn suspend(&self) {
+            let core = unsafe { &*self.core };
+            unsafe { tmk_coro_switch(core.coro_sp.as_ptr(), core.caller_sp.get()) };
+            if core.cancel.get() {
+                panic::resume_unwind(Box::new(ForcedUnwind));
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(super) fn pool_len() -> usize {
+        POOL.with(|p| p.borrow().len())
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux", not(tmk_coro_threads))))]
+mod imp {
+    //! Portable fallback: each coroutine runs on a parked OS thread with a
+    //! strict mutex/condvar turn handshake, so exactly one of {owner,
+    //! coroutine} ever runs. Same semantics as the assembly path, minus the
+    //! speed; used on non-x86_64 targets (or with `--cfg tmk_coro_threads`
+    //! to cross-check the two implementations).
+
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::thread::JoinHandle;
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Turn {
+        Owner,
+        Coro,
+        Done,
+    }
+
+    struct Shared {
+        turn: Mutex<Turn>,
+        cv: Condvar,
+        cancel: AtomicBool,
+    }
+
+    pub struct Coro {
+        shared: Arc<Shared>,
+        entry: Option<Box<dyn FnOnce() + Send>>,
+        thread: Option<JoinHandle<Option<Box<dyn Any + Send>>>>,
+        stack_bytes: usize,
+        finished: bool,
+    }
+
+    impl Coro {
+        /// See the x86_64 implementation for the API contract.
+        ///
+        /// # Safety
+        ///
+        /// As on x86_64: the closure's lifetime is erased; drop the `Coro`
+        /// (which joins the worker thread) before captured borrows expire.
+        pub unsafe fn new_unchecked<F>(stack_bytes: usize, f: F) -> Coro
+        where
+            F: FnOnce() + Send,
+        {
+            let f: Box<dyn FnOnce() + Send> = Box::new(f);
+            let f: Box<dyn FnOnce() + Send + 'static> = std::mem::transmute::<
+                Box<dyn FnOnce() + Send + '_>,
+                Box<dyn FnOnce() + Send + 'static>,
+            >(f);
+            Coro {
+                shared: Arc::new(Shared {
+                    turn: Mutex::new(Turn::Owner),
+                    cv: Condvar::new(),
+                    cancel: AtomicBool::new(false),
+                }),
+                entry: Some(f),
+                thread: None,
+                stack_bytes,
+                finished: false,
+            }
+        }
+
+        pub fn resume(&mut self) -> Resume {
+            assert!(!self.finished, "resume on a finished coroutine");
+            {
+                let mut turn = self.shared.turn.lock().unwrap();
+                *turn = Turn::Coro;
+                self.shared.cv.notify_all();
+            }
+            if let Some(f) = self.entry.take() {
+                let shared = Arc::clone(&self.shared);
+                self.thread = Some(
+                    std::thread::Builder::new()
+                        .name("tmk-coro".into())
+                        .stack_size(self.stack_bytes)
+                        .spawn(move || {
+                            let r = panic::catch_unwind(AssertUnwindSafe(f));
+                            let mut turn = shared.turn.lock().unwrap();
+                            *turn = Turn::Done;
+                            shared.cv.notify_all();
+                            match r {
+                                Err(p) if !p.is::<ForcedUnwind>() => Some(p),
+                                _ => None,
+                            }
+                        })
+                        .expect("spawn coroutine thread"),
+                );
+            }
+            let mut turn = self.shared.turn.lock().unwrap();
+            while *turn == Turn::Coro {
+                turn = self.shared.cv.wait(turn).unwrap();
+            }
+            let done = *turn == Turn::Done;
+            drop(turn);
+            if done {
+                self.finished = true;
+                let payload = self.thread.take().and_then(|t| t.join().expect("coroutine thread"));
+                Resume::Finished(payload)
+            } else {
+                Resume::Yielded
+            }
+        }
+
+        pub fn yielder(&self) -> Yielder {
+            Yielder {
+                shared: Arc::as_ptr(&self.shared),
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.finished
+        }
+
+        pub fn cancel(&mut self) {
+            if self.finished {
+                return;
+            }
+            if self.thread.is_none() {
+                drop(self.entry.take());
+                self.finished = true;
+                return;
+            }
+            self.shared.cancel.store(true, Ordering::SeqCst);
+            match self.resume() {
+                Resume::Finished(_) => {}
+                Resume::Yielded => {
+                    eprintln!("fatal: cancelled coroutine suspended again (ForcedUnwind swallowed)");
+                    std::process::abort();
+                }
+            }
+        }
+    }
+
+    impl Drop for Coro {
+        fn drop(&mut self) {
+            self.cancel();
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct Yielder {
+        shared: *const Shared,
+    }
+
+    impl Yielder {
+        pub fn suspend(&self) {
+            let shared = unsafe { &*self.shared };
+            let mut turn = shared.turn.lock().unwrap();
+            *turn = Turn::Owner;
+            shared.cv.notify_all();
+            while *turn == Turn::Owner {
+                turn = shared.cv.wait(turn).unwrap();
+            }
+            drop(turn);
+            if shared.cancel.load(Ordering::SeqCst) {
+                panic::resume_unwind(Box::new(ForcedUnwind));
+            }
+        }
+    }
+}
+
+pub use imp::{Coro, Yielder};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    const STACK: usize = 256 * 1024;
+
+    /// Test-only wrapper to move raw pointers into the (nominally `Send`)
+    /// coroutine closure. Sound here: on the fast path everything stays on
+    /// one thread, and the fallback's mutex handshake means owner and
+    /// coroutine segments never run concurrently and are fully ordered.
+    struct Sendable<T>(T);
+    unsafe impl<T> Send for Sendable<T> {}
+    impl<T: Copy> Sendable<T> {
+        // An accessor (rather than direct field access) so that move
+        // closures capture the whole wrapper, not just the raw pointer:
+        // edition-2021 disjoint capture would otherwise strip the Send.
+        fn get(&self) -> T {
+            self.0
+        }
+    }
+
+    #[test]
+    fn ping_pong_interleaves() {
+        let log: Cell<u64> = Cell::new(0);
+        let push = |d: u64| log.set(log.get() * 10 + d);
+        let mut yielder: Option<Yielder> = None;
+        let yref: *mut Option<Yielder> = &mut yielder;
+        let mut c = unsafe {
+            Coro::new_unchecked(STACK, {
+                let cell = Sendable::<*mut Option<Yielder>>(yref);
+                let log = Sendable::<*const Cell<u64>>(&log);
+                move || {
+                    let y = unsafe { (*cell.get()).expect("yielder installed") };
+                    let log = unsafe { &*log.get() };
+                    let push = |d: u64| log.set(log.get() * 10 + d);
+                    push(1);
+                    y.suspend();
+                    push(3);
+                    y.suspend();
+                    push(5);
+                }
+            })
+        };
+        unsafe { *yref = Some(c.yielder()) };
+        assert!(matches!(c.resume(), Resume::Yielded));
+        push(2);
+        assert!(matches!(c.resume(), Resume::Yielded));
+        push(4);
+        assert!(matches!(c.resume(), Resume::Finished(None)));
+        assert!(c.is_finished());
+        c.cancel(); // idempotent on finished
+        assert_eq!(log.get(), 12345);
+    }
+
+    #[test]
+    fn borrows_local_state() {
+        let mut counter = 0u64;
+        {
+            let p = Sendable::<*mut u64>(&mut counter);
+            let mut c = unsafe {
+                Coro::new_unchecked(STACK, move || {
+                    // Non-'static borrow, allowed by new_unchecked's contract.
+                    unsafe { *p.get() += 41 };
+                })
+            };
+            assert!(matches!(c.resume(), Resume::Finished(None)));
+        }
+        assert_eq!(counter, 41);
+    }
+
+    #[test]
+    fn panics_are_captured_and_rethrowable() {
+        let mut c = unsafe { Coro::new_unchecked(STACK, || panic!("kaboom {}", 7)) };
+        match c.resume() {
+            Resume::Finished(Some(p)) => {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied());
+                assert_eq!(msg, Some("kaboom 7"));
+            }
+            _ => panic!("expected a captured panic"),
+        }
+    }
+
+    #[test]
+    fn drop_cancels_and_runs_destructors() {
+        struct Flag(Sendable<*const Cell<bool>>);
+        impl Drop for Flag {
+            fn drop(&mut self) {
+                unsafe { (*self.0 .0).set(true) };
+            }
+        }
+        let dropped = Cell::new(false);
+        {
+            let mut yielder: Option<Yielder> = None;
+            let yref: *mut Option<Yielder> = &mut yielder;
+            let mut c = unsafe {
+                Coro::new_unchecked(STACK, {
+                    let cell = Sendable::<*mut Option<Yielder>>(yref);
+                    let flag = Flag(Sendable(&dropped));
+                    move || {
+                        let y = unsafe { (*cell.get()).expect("yielder installed") };
+                        let _keep = flag;
+                        loop {
+                            y.suspend();
+                        }
+                    }
+                })
+            };
+            unsafe { *yref = Some(c.yielder()) };
+            assert!(matches!(c.resume(), Resume::Yielded));
+            assert!(!dropped.get());
+            // Dropping while suspended must force-unwind the stack.
+        }
+        assert!(dropped.get());
+    }
+
+    #[test]
+    fn unstarted_coroutine_drops_cleanly() {
+        let v = vec![1, 2, 3];
+        let c = unsafe { Coro::new_unchecked(STACK, move || drop(v)) };
+        drop(c); // closure (and its captures) dropped without running
+    }
+
+    #[test]
+    fn many_coroutines_round_robin() {
+        const N: usize = 100;
+        let counters: Vec<Cell<u32>> = (0..N).map(|_| Cell::new(0)).collect();
+        let yielders: Vec<Cell<Option<Yielder>>> = (0..N).map(|_| Cell::new(None)).collect();
+        let mut coros: Vec<Coro> = (0..N)
+            .map(|i| {
+                let counter = Sendable::<*const Cell<u32>>(&counters[i]);
+                let ycell = Sendable::<*const Cell<Option<Yielder>>>(&yielders[i]);
+                unsafe {
+                    Coro::new_unchecked(64 * 1024, move || {
+                        let y = unsafe { &*ycell.get() }.get().expect("yielder installed");
+                        for _ in 0..3 {
+                            let c = unsafe { &*counter.get() };
+                            c.set(c.get() + 1);
+                            y.suspend();
+                        }
+                    })
+                }
+            })
+            .collect();
+        for (i, c) in coros.iter().enumerate() {
+            yielders[i].set(Some(c.yielder()));
+        }
+        for round in 0..4 {
+            for c in coros.iter_mut() {
+                match c.resume() {
+                    Resume::Yielded => assert!(round < 3),
+                    Resume::Finished(None) => assert_eq!(round, 3),
+                    Resume::Finished(Some(_)) => panic!("unexpected panic"),
+                }
+            }
+        }
+        drop(coros);
+        assert!(counters.iter().all(|c| c.get() == 3));
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux", not(tmk_coro_threads)))]
+    #[test]
+    fn stacks_are_pooled_and_reused() {
+        // Serial coroutines of one size should share a single stack.
+        for _ in 0..5 {
+            let mut c = unsafe { Coro::new_unchecked(STACK, || ()) };
+            assert!(matches!(c.resume(), Resume::Finished(None)));
+        }
+        assert!(imp::pool_len() >= 1);
+        assert!(imp::pool_len() <= 5);
+    }
+}
