@@ -876,7 +876,7 @@ fn fig09_11(tier: Tier) -> Experiment {
             let mut requests = vec![req(Platform::as_sim(1), w.clone())];
             for &n in &procs {
                 requests.push(req(Platform::as_sim(n), w.clone()));
-                requests.push(req(Platform::Ah { procs: n }, w.clone()));
+                requests.push(req(Platform::ah(n), w.clone()));
                 requests.push(req(Platform::hs_sim(n / per_node, per_node), w.clone()));
             }
             let (fig, name, w, procs) = (*fig, *name, w.clone(), procs.clone());
@@ -892,7 +892,7 @@ fn fig09_11(tier: Tier) -> Experiment {
                 let base = ctx.wsecs(&req(Platform::as_sim(1), w.clone()))?;
                 for &n in &procs {
                     let as_ = base / ctx.wsecs(&req(Platform::as_sim(n), w.clone()))?;
-                    let ah = base / ctx.wsecs(&req(Platform::Ah { procs: n }, w.clone()))?;
+                    let ah = base / ctx.wsecs(&req(Platform::ah(n), w.clone()))?;
                     let hs =
                         base / ctx.wsecs(&req(Platform::hs_sim(n / per_node, per_node), w.clone()))?;
                     writeln!(out, "{n:>6} {as_:>10.2} {ah:>10.2} {hs:>10.2}").unwrap();
@@ -1626,6 +1626,223 @@ fn chaos(tier: Tier) -> Experiment {
     }
 }
 
+fn recovery(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    // Crash timings are fixed cycle counts chosen to land well inside every
+    // run of the tier (quick SOR-tiny finishes at ~512k cycles, the full
+    // inputs run for >100M), so the sweep covers an early crash (before the
+    // first few barrier epochs close) and a mid-run crash (a deep replay
+    // window). The transient outage is shorter than the detection window,
+    // so retransmission alone must mask it without a rollback.
+    let (early, mid, blip): (u64, u64, u64) = if quick {
+        (100_000, 300_000, 200_000)
+    } else {
+        (1_000_000, 8_000_000, 200_000)
+    };
+    let procs_list: Vec<usize> = if quick { vec![4] } else { vec![8, 16, 32] };
+    let seed: u64 = 0x5ec0;
+    // Same livelock safety net as the chaos sweep.
+    let budget: u64 = 4_000_000_000_000;
+    // An aggressive RTO so retransmission exhaustion (the failure detector)
+    // fires within ~1.6M cycles of the first send into a dead node; the
+    // default 1M-cycle timeout would stretch detection past the quick-tier
+    // runs entirely.
+    let snappy = RetransmitPolicy {
+        timeout: 50_000,
+        backoff: 2,
+        max_retries: 4,
+        adaptive: None,
+    };
+
+    type Crashes = Vec<(usize, u64, Option<u64>)>;
+    let platform = move |procs: usize, crashes: Crashes| -> Platform {
+        let mut plan = FaultPlan::crash_schedule(seed);
+        for &(node, at, restart) in &crashes {
+            plan = plan.with_crash(node, at, restart);
+        }
+        Platform::AsCluster {
+            procs,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                faults: (!crashes.is_empty()).then_some(plan),
+                reliability: Some(snappy),
+                checkpoints: true,
+                watchdog_budget: Some(budget),
+                ..Default::default()
+            },
+        }
+    };
+    // label, crash schedule, permanent crashes the run must roll back.
+    // SOR (regular, barrier-paced) sweeps crash timing: early, mid-run
+    // (a deep replay window), both, and a transient blip. TSP keeps its
+    // crashes early: its branch-and-bound search is *work*-sensitive to
+    // when pruning-bound updates propagate, and a mid-run outage can
+    // multiply the explored tree by an order of magnitude — a real
+    // robustness finding, but not a run the default results tier can
+    // afford to grind out; the crash-count axis is swept with two early
+    // crashes instead.
+    let sor_variants: Vec<(&'static str, Crashes, u64)> = vec![
+        ("1 crash early", vec![(1, early, None)], 1),
+        ("1 crash mid", vec![(2, mid, None)], 1),
+        ("2 crashes", vec![(1, early, None), (2, mid, None)], 2),
+        ("transient blip", vec![(1, early, Some(blip))], 0),
+    ];
+    let tsp_variants: Vec<(&'static str, Crashes, u64)> = vec![
+        ("1 crash early", vec![(1, early, None)], 1),
+        ("2 crashes", vec![(1, early, None), (2, 2 * early, None)], 2),
+        ("transient blip", vec![(1, early, Some(blip))], 0),
+    ];
+
+    let workloads: Vec<(&'static str, &'static str, WorkloadSpec, Vec<(&'static str, Crashes, u64)>)> =
+        if quick {
+            vec![
+                ("sor", "SOR tiny", WorkloadSpec::SorTiny, sor_variants),
+                ("tsp", "TSP 10", WorkloadSpec::Tsp { cities: 10 }, tsp_variants),
+            ]
+        } else {
+            vec![
+                ("sor", "SOR 1024x1024", WorkloadSpec::SorSmall, sor_variants),
+                ("tsp", "TSP 17", WorkloadSpec::Tsp { cities: 17 }, tsp_variants),
+            ]
+        };
+
+    let mut sections = Vec::new();
+    for (id, name, w, variants) in workloads {
+        let procs_list = procs_list.clone();
+        let mut requests = Vec::new();
+        for &procs in &procs_list {
+            requests.push(req(Platform::as_sim(procs), w.clone()));
+            requests.push(req(platform(procs, Vec::new()), w.clone()));
+            for (_, crashes, _) in &variants {
+                requests.push(req(platform(procs, crashes.clone()), w.clone()));
+            }
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{name} under seeded node crashes (barrier-epoch checkpoints, \
+                 RTO {} cycles, detection by retransmission exhaustion):",
+                snappy.timeout
+            )
+            .unwrap();
+            for &procs in &procs_list {
+                // The ground truth: the same workload on a perfect network
+                // with no reliability or checkpoint machinery at all.
+                let truth = ctx.data(&req(Platform::as_sim(procs), w.clone()))?;
+                let base = ctx.data(&req(platform(procs, Vec::new()), w.clone()))?;
+                if base.checksums != truth.checksums {
+                    return Err(format!(
+                        "AS-{procs}: arming checkpoints changed the application \
+                         output ({:?} vs {:?})",
+                        base.checksums, truth.checksums
+                    ));
+                }
+                let brep = &base.report;
+                if brep.recovery.checkpoints == 0 {
+                    return Err(format!(
+                        "AS-{procs}: no checkpoints taken with checkpointing armed"
+                    ));
+                }
+                if brep.recovery.rollbacks != 0 || brep.recovery.messages_severed != 0 {
+                    return Err(format!(
+                        "AS-{procs}: crash-free baseline reports crash activity \
+                         ({:?})",
+                        brep.recovery
+                    ));
+                }
+                writeln!(
+                    out,
+                    "  AS-{procs} baseline: {:>9} time  checkpoints={} \
+                     (checkpoint overhead {:+.2}% over the unprotected run)",
+                    fmt_secs(brep.seconds()),
+                    brep.recovery.checkpoints,
+                    100.0 * (brep.seconds() - truth.report.seconds())
+                        / truth.report.seconds(),
+                )
+                .unwrap();
+                for (label, crashes, permanent) in &variants {
+                    let d = ctx.data(&req(platform(procs, crashes.clone()), w.clone()))?;
+                    let rep = &d.report;
+                    let rec = &rep.recovery;
+                    if d.checksums != truth.checksums {
+                        return Err(format!(
+                            "AS-{procs}, {label}: application output diverged from \
+                             the crash-free run ({:?} vs {:?})",
+                            d.checksums, truth.checksums
+                        ));
+                    }
+                    if rec.messages_severed == 0 {
+                        return Err(format!(
+                            "AS-{procs}, {label}: the crash window severed no \
+                             messages; the schedule never bit"
+                        ));
+                    }
+                    if rec.rollbacks != *permanent || rec.suspected != *permanent {
+                        return Err(format!(
+                            "AS-{procs}, {label}: expected {permanent} rollback(s), \
+                             saw suspected={} rollbacks={}",
+                            rec.suspected, rec.rollbacks
+                        ));
+                    }
+                    if *permanent > 0 && rec.recovery_cycles == 0 {
+                        return Err(format!(
+                            "AS-{procs}, {label}: rollback recovery charged no \
+                             cycles to the recovery ledger"
+                        ));
+                    }
+                    if *permanent == 0 {
+                        // The blip is masked by retransmission alone: no
+                        // rollback, but the lost copies were resent.
+                        if rep.reliability.retransmissions == 0 {
+                            return Err(format!(
+                                "AS-{procs}, {label}: severed messages were never \
+                                 retransmitted"
+                            ));
+                        }
+                    }
+                    if rep.cycles < brep.cycles && *permanent > 0 {
+                        return Err(format!(
+                            "AS-{procs}, {label}: a crash made the run faster \
+                             ({} vs {} cycles)",
+                            rep.cycles, brep.cycles
+                        ));
+                    }
+                    writeln!(
+                        out,
+                        "    {label:<14}: {:>9} time  ({:+6.2}%)  severed={:<4} \
+                         rollbacks={} tokens-reminted={} pages-refetched={}",
+                        fmt_secs(rep.seconds()),
+                        100.0 * (rep.seconds() - brep.seconds()) / brep.seconds(),
+                        rec.messages_severed,
+                        rec.rollbacks,
+                        rec.tokens_regenerated,
+                        rec.pages_refetched,
+                    )
+                    .unwrap();
+                }
+            }
+            Ok(out)
+        });
+        sections.push(Section::new(id, requests, render));
+    }
+    Experiment {
+        id: "recovery",
+        title: "node-crash injection: checkpoint/rollback recovery keeps outputs bit-identical",
+        default: true,
+        header: Some(
+            "Crash-fault sweep on the AS design: seeded node crashes against \
+             barrier-epoch checkpoints and lock-token regeneration.\nEvery \
+             surviving run must reproduce the crash-free application results \
+             byte for byte; transient outages shorter than the detection \
+             window must be masked by retransmission alone."
+                .to_string(),
+        ),
+        sections,
+    }
+}
+
 fn breakdown(tier: Tier) -> Experiment {
     let quick = tier == Tier::Quick;
     let platforms: Vec<(&'static str, Platform)> = if quick {
@@ -1641,7 +1858,7 @@ fn breakdown(tier: Tier) -> Experiment {
             ("SGI-8", Platform::Sgi { procs: 8 }),
             ("AS-8", Platform::as_sim(8)),
             ("AS-32", Platform::as_sim(32)),
-            ("AH-32", Platform::Ah { procs: 32 }),
+            ("AH-32", Platform::ah(32)),
             ("HS-4x8", Platform::hs_sim(4, 8)),
         ]
     };
@@ -1680,8 +1897,24 @@ fn breakdown(tier: Tier) -> Experiment {
                     "{label}: where the cycles go (percent of aggregate processor cycles)"
                 )
                 .unwrap();
+                // The recovery column (always last) earns its width only
+                // when some run actually charged it; crash-free tables
+                // keep the original six-column shape.
+                let mut ncols = NCAT - 1;
+                for (_, p) in &platforms {
+                    let d = ctx.data(&req(p.clone(), w.clone()).traced())?;
+                    if let Some(tr) = &d.trace {
+                        if tr
+                            .breakdown
+                            .iter()
+                            .any(|row| row[Category::Recovery.index()] > 0)
+                        {
+                            ncols = NCAT;
+                        }
+                    }
+                }
                 write!(out, "{:<8}", "platform").unwrap();
-                for cat in Category::ALL {
+                for cat in Category::ALL.iter().take(ncols) {
                     write!(out, " {:>9}", cat.name()).unwrap();
                 }
                 writeln!(out, " {:>15}", "total cycles").unwrap();
@@ -1717,7 +1950,9 @@ fn breakdown(tier: Tier) -> Experiment {
                     write!(out, "{name:<8}").unwrap();
                     for (i, v) in totals.iter().enumerate() {
                         share[i] = *v as f64 / all as f64;
-                        write!(out, " {:>8.1}%", 100.0 * share[i]).unwrap();
+                        if i < ncols {
+                            write!(out, " {:>8.1}%", 100.0 * share[i]).unwrap();
+                        }
                     }
                     writeln!(out, " {all:>15}").unwrap();
                     shares.insert(name, share);
@@ -2212,6 +2447,7 @@ pub fn registry(tier: Tier) -> Vec<Experiment> {
         fig14_16(tier),
         ablations(tier),
         chaos(tier),
+        recovery(tier),
         breakdown(tier),
         scaling(tier),
         scaling256(tier),
@@ -2439,8 +2675,17 @@ fn run_json(r: &JobResult) -> Json {
                         *t += *v;
                     }
                 }
+                // The recovery column (always last) only appears once a
+                // crash plan actually charged it, so crash-free reports —
+                // including every previously published one — keep their
+                // exact shape.
+                let ncols = if totals[Category::Recovery.index()] > 0 {
+                    NCAT
+                } else {
+                    NCAT - 1
+                };
                 let mut b = Json::obj();
-                for (i, cat) in Category::ALL.iter().enumerate() {
+                for (i, cat) in Category::ALL.iter().enumerate().take(ncols) {
                     b = b.set(cat.name(), totals[i]);
                 }
                 b = b.set(
@@ -2449,7 +2694,9 @@ fn run_json(r: &JobResult) -> Json {
                         tr.breakdown
                             .iter()
                             .map(|row| {
-                                Json::Arr(row.iter().map(|&v| Json::UInt(v)).collect())
+                                Json::Arr(
+                                    row.iter().take(ncols).map(|&v| Json::UInt(v)).collect(),
+                                )
                             })
                             .collect(),
                     ),

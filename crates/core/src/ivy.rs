@@ -106,6 +106,19 @@ impl IvyNode {
         self.held.contains(&lock)
     }
 
+    /// Number of lock-directory entries this node manages. Crash recovery
+    /// re-mints each of them when the node dies (IVY's lock state is
+    /// centralized at the manager, so losing the manager loses them all).
+    pub fn managed_locks(&self) -> u64 {
+        self.locks.len() as u64
+    }
+
+    /// Pages with a resident copy on this node (what a post-crash restore
+    /// would have to re-fetch).
+    pub fn pages_resident(&self) -> u64 {
+        self.data.iter().filter(|d| d.is_some()).count() as u64
+    }
+
     /// A diagnostic summary of this node's synchronization state: the lock
     /// directory it manages (holder and FIFO queue), locks held locally,
     /// and barrier arrivals collected as a manager. Consumed by the

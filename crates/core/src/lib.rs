@@ -72,12 +72,12 @@ pub mod runtime;
 mod stats;
 mod vt;
 
-pub use cluster::{Cluster, Traffic};
+pub use cluster::{Cluster, RecoverySummary, Traffic};
 pub use diff::Diff;
 pub use interval::{IntervalMsg, IntervalStore};
 pub use msg::{Action, BodyBytes, Envelope, Msg, MsgClass};
 pub use ivy::IvyNode;
-pub use node::{FaultStart, Handled, Node, StartAcquire};
+pub use node::{FaultStart, Handled, Node, NodeCheckpoint, StartAcquire};
 pub use reliable::{
     AdaptiveRto, ChaosPlan, ChaosRouter, PacketId, RelStats, Reliability, RetransmitPolicy,
 };

@@ -79,6 +79,39 @@ struct GcState {
     validating: usize,
 }
 
+/// A barrier-consistent snapshot of one node's DSM state: page copies,
+/// vector time, and the interval store (whose retirement floor *is* the
+/// snapshot's consistent cut — the same global state barrier-time GC keys
+/// off). Transient synchronization state (lock tokens, queue tails,
+/// barrier arrivals) is deliberately excluded: at a completed barrier it
+/// is reconstructible, and after a crash the lost tokens are re-minted at
+/// their managers ([`crate::Cluster::crash_recover`]).
+#[derive(Debug, Clone)]
+pub struct NodeCheckpoint {
+    vt: VTime,
+    store: IntervalStore,
+    pages: Vec<PageMeta>,
+    dirty: Vec<PageId>,
+    last_reported: Seq,
+    cached_diff_bytes: u64,
+}
+
+impl NodeCheckpoint {
+    /// Pages with a resident copy in the snapshot (what a restore of this
+    /// node must re-materialize from stable storage).
+    pub fn pages_resident(&self) -> u64 {
+        self.pages.iter().filter(|p| p.data.is_some()).count() as u64
+    }
+
+    /// Approximate snapshot footprint in bytes (page copies + metadata),
+    /// for charging checkpoint cost.
+    pub fn approx_bytes(&self, page_size: usize) -> u64 {
+        self.pages_resident() * page_size as u64
+            + self.store.approx_bytes() as u64
+            + self.cached_diff_bytes
+    }
+}
+
 /// One node's complete protocol state.
 #[derive(Debug)]
 pub struct Node {
@@ -272,6 +305,69 @@ impl Node {
         } else {
             parts.join("; ")
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (crash recovery)
+    // ------------------------------------------------------------------
+
+    /// Snapshots this node's DSM state at a barrier-consistent cut.
+    ///
+    /// Call only when the node is quiescent at a completed barrier: no
+    /// open interval, no fetch in flight, no GC episode — exactly the
+    /// state barrier-time GC already relies on being globally consistent.
+    pub fn checkpoint(&self) -> NodeCheckpoint {
+        debug_assert!(self.dirty.is_empty(), "checkpoint with an open interval");
+        debug_assert!(self.gc.is_none(), "checkpoint during a GC episode");
+        debug_assert!(
+            self.pages.iter().all(|p| p.fetch.is_none()),
+            "checkpoint with a fetch in flight"
+        );
+        NodeCheckpoint {
+            vt: self.vt.clone(),
+            store: self.store.clone(),
+            pages: self.pages.clone(),
+            dirty: self.dirty.clone(),
+            last_reported: self.last_reported,
+            cached_diff_bytes: self.cached_diff_bytes,
+        }
+    }
+
+    /// Rolls this node's DSM state back to `ck` and resets all transient
+    /// synchronization state (lock views, manager queue tails, barrier
+    /// arrivals, GC progress). Lock tokens re-mint lazily at their managers
+    /// on first use after the restore — the same bootstrap rule as cluster
+    /// start-up. Statistics are cumulative and are *not* rolled back.
+    pub fn restore(&mut self, ck: &NodeCheckpoint) {
+        self.vt = ck.vt.clone();
+        self.store = ck.store.clone();
+        self.pages = ck.pages.clone();
+        self.dirty = ck.dirty.clone();
+        self.last_reported = ck.last_reported;
+        self.cached_diff_bytes = ck.cached_diff_bytes;
+        self.locks.clear();
+        self.mgr_last.clear();
+        self.barriers.clear();
+        self.gc = None;
+        self.pending_gc_done = None;
+        self.ledger_note();
+    }
+
+    /// Locks whose token currently sits on this node.
+    pub fn token_holdings(&self) -> Vec<LockId> {
+        let mut out: Vec<LockId> = self
+            .locks
+            .iter()
+            .filter(|(_, v)| v.have_token)
+            .map(|(&l, _)| l)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Pages with a resident local copy (valid or awaiting notices).
+    pub fn pages_resident(&self) -> u64 {
+        self.pages.iter().filter(|p| p.data.is_some()).count() as u64
     }
 
     fn lock_view(&mut self, lock: LockId) -> &mut LockView {

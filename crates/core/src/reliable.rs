@@ -325,6 +325,21 @@ impl Reliability {
         flight.retries
     }
 
+    /// Resets the retry count of every in-flight packet to or from `node`,
+    /// returning how many were reset. Crash recovery uses this after a
+    /// rollback: retransmissions burned while the peer was down must not
+    /// count against the exhaustion limit once it answers again.
+    pub fn forgive_retries(&mut self, node: NodeId) -> usize {
+        let mut reset = 0;
+        for (&(src, dst, _), flight) in self.in_flight.iter_mut() {
+            if (src == node || dst == node) && flight.retries > 0 {
+                flight.retries = 0;
+                reset += 1;
+            }
+        }
+        reset
+    }
+
     /// Number of packets awaiting acks.
     pub fn in_flight_len(&self) -> usize {
         self.in_flight.len()
@@ -543,6 +558,23 @@ mod tests {
         rel.acked(pid);
         assert_eq!(rel.in_flight_len(), 0);
         assert_eq!(rel.stats().acks, 1);
+    }
+
+    #[test]
+    fn forgive_retries_resets_only_the_dead_nodes_links() {
+        let mut rel = Reliability::new();
+        let to_dead = rel.register(&env(0, 2));
+        let from_dead = rel.register(&env(2, 1));
+        let unrelated = rel.register(&env(0, 1));
+        for _ in 0..3 {
+            rel.bump_retry(to_dead);
+            rel.bump_retry(from_dead);
+            rel.bump_retry(unrelated);
+        }
+        assert_eq!(rel.forgive_retries(2), 2);
+        assert_eq!(rel.bump_retry(to_dead), 1, "count restarted");
+        assert_eq!(rel.bump_retry(from_dead), 1, "count restarted");
+        assert_eq!(rel.bump_retry(unrelated), 4, "untouched link kept its count");
     }
 
     #[test]

@@ -151,6 +151,27 @@ impl ProtoNode {
     pub(crate) fn sync_debug(&self) -> String {
         delegate!(self, n => n.sync_debug())
     }
+    pub(crate) fn pages_resident(&self) -> u64 {
+        delegate!(self, n => n.pages_resident())
+    }
+}
+
+/// Runtime state of the node-crash fault model: which scheduled crashes
+/// recovery has repaired, the last barrier-consistent checkpoint cut, and
+/// the counters reported at the end of the run.
+#[derive(Debug, Default)]
+pub(crate) struct CrashState {
+    /// Per scheduled crash (parallel to the fault plan's `crashes`): the
+    /// cycle at which recovery completed, once the failure detector fired.
+    recovered: Vec<Option<Cycle>>,
+    /// Cycle of the last checkpoint cut. `Some(0)` as soon as
+    /// checkpointing is armed: the initial memory image is always
+    /// replayable, so a crash before the first barrier restarts the run.
+    ckpt_at: Option<Cycle>,
+    /// Pages resident per node at the cut (what a restore re-fetches).
+    ckpt_pages: Vec<u64>,
+    /// Counters surfaced in [`crate::RunReport::recovery`].
+    pub(crate) stats: crate::RecoveryStats,
 }
 
 /// The shared machine state: all protocol nodes plus the network.
@@ -169,6 +190,11 @@ pub struct DsmMachine {
     pub(crate) policy: RetransmitPolicy,
     /// Per-processor cycle ceiling forwarded to the engine's watchdog.
     pub(crate) watchdog_budget: Option<Cycle>,
+    /// Whether barrier-epoch checkpointing is armed (the prerequisite for
+    /// surviving a scheduled node crash).
+    pub(crate) checkpoints: bool,
+    /// Crash/recovery runtime state.
+    pub(crate) crash: CrashState,
     /// Trace sink for protocol instants (node tracks); disabled by default.
     pub(crate) sink: Sink,
 }
@@ -176,6 +202,7 @@ pub struct DsmMachine {
 impl DsmMachine {
     /// Builds the cluster with a `segment_bytes` shared segment.
     pub fn new(params: DsmParams, segment_bytes: usize, tuning: &crate::DsmTuning) -> Self {
+        let procs = params.procs;
         let pages = segment_bytes.div_ceil(tuning.page_size.unwrap_or(params.page_size));
         let mut cfg = Config::new(params.procs)
             .page_size(tuning.page_size.unwrap_or(params.page_size))
@@ -213,6 +240,17 @@ impl DsmMachine {
             rel: tuning.reliability.map(|_| Reliability::new()),
             policy: tuning.reliability.unwrap_or_default(),
             watchdog_budget: tuning.watchdog_budget,
+            checkpoints: tuning.checkpoints,
+            crash: CrashState {
+                recovered: tuning
+                    .faults
+                    .as_ref()
+                    .map(|p| vec![None; p.crashes.len()])
+                    .unwrap_or_default(),
+                ckpt_at: tuning.checkpoints.then_some(0),
+                ckpt_pages: vec![0; procs],
+                stats: crate::RecoveryStats::default(),
+            },
             sink: Sink::default(),
         }
     }
@@ -262,6 +300,179 @@ impl DsmMachine {
         }
         t
     }
+
+    /// Whether `node` sits inside a scheduled crash window at `t` that
+    /// recovery has not yet repaired.
+    fn down_at(&self, node: NodeId, t: Cycle) -> bool {
+        let Some(plan) = self.net.plan() else {
+            return false;
+        };
+        plan.crashes
+            .iter()
+            .zip(&self.crash.recovered)
+            .any(|(c, rec)| c.node == node && c.down_at(t) && rec.is_none_or(|r| t < r))
+    }
+
+    /// If a recovery covering `node`'s crash window at `t` already ran,
+    /// returns the cycle it completed (a second detector waits for it
+    /// instead of rolling the cluster back again).
+    fn recovery_end(&self, node: NodeId, t: Cycle) -> Option<Cycle> {
+        let plan = self.net.plan()?;
+        plan.crashes
+            .iter()
+            .zip(&self.crash.recovered)
+            .filter(|(c, _)| c.node == node && c.down_at(t))
+            .filter_map(|(_, rec)| *rec)
+            .max()
+    }
+
+    /// Lock state a crash of `crashed` forces recovery to re-mint at the
+    /// managers. For the token-forwarding LRC protocol that is every token
+    /// resting away from its manager (survivor metadata alone no longer
+    /// proves where it is) plus anything cached on the dead node itself;
+    /// for IVY's centralized directory it is the entries the dead node
+    /// managed.
+    fn tokens_to_regen(&self, crashed: NodeId) -> u64 {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| match n {
+                ProtoNode::Lrc(n) => n
+                    .token_holdings()
+                    .into_iter()
+                    .filter(|&l| n.config().lock_manager(l) != id || id == crashed)
+                    .count() as u64,
+                ProtoNode::Ivy(n) => {
+                    if id == crashed {
+                        n.managed_locks()
+                    } else {
+                        0
+                    }
+                }
+            })
+            .sum()
+    }
+
+    /// Records a barrier-consistent checkpoint cut at `t`, taken by the
+    /// barrier manager `by` the moment the last arrival lands (every node's
+    /// interval state is then closed — the same cut the metadata GC uses).
+    /// Each node is charged the cycles to copy its resident pages aside.
+    fn take_checkpoint(&mut self, by: NodeId, t: Cycle, charges: &mut Vec<(NodeId, Cycle)>) {
+        let ps = self.page_size() as u64;
+        let mut total = 0;
+        for (id, n) in self.nodes.iter().enumerate() {
+            let pages = n.pages_resident();
+            self.crash.ckpt_pages[id] = pages;
+            total += pages;
+            if pages > 0 {
+                charges.push((id, pages * (ps / 8)));
+            }
+        }
+        self.crash.ckpt_at = Some(t);
+        self.crash.stats.checkpoints += 1;
+        self.sink.emit(Event {
+            track: Track::Node(by as u32),
+            at: t,
+            dur: 0,
+            kind: EventKind::CheckpointTake { pages: total },
+        });
+    }
+}
+
+/// Runs barrier-consistent recovery after the failure detector declared
+/// `dead` crashed (retransmission exhaustion observed by `detector` at `t`).
+///
+/// The simulation is deterministic, so rolling every survivor back to the
+/// last checkpoint cut and replaying reproduces the pre-crash protocol and
+/// application state exactly; the machine therefore keeps its live state
+/// and *charges* the recovery procedure instead — confirmation with the
+/// barrier manager, parallel rollback, the dead node re-fetching its pages,
+/// lock tokens re-minted at their managers from survivor metadata, and the
+/// deterministic replay of the work lost since the cut. Returns the cycle
+/// recovery completes and the span charged to [`Category::Recovery`].
+fn recover(m: &mut DsmMachine, dead: NodeId, detector: NodeId, t: Cycle) -> (Cycle, Cycle) {
+    let Some(ckpt_at) = m.crash.ckpt_at else {
+        panic!(
+            "node {dead} crashed and is unrecoverable: no checkpoint armed \
+             (detected by node {detector} at cycle {t} after retransmission \
+             exhaustion); arm DsmTuning::checkpoints to survive crash plans"
+        );
+    };
+    m.crash.stats.suspected += 1;
+    m.sink.emit(Event {
+        track: Track::Node(detector as u32),
+        at: t,
+        dur: 0,
+        kind: EventKind::NodeSuspected { node: dead as u32 },
+    });
+    let so = &m.params.so;
+    // Lease-style confirmation round trip with the barrier manager (the
+    // lowest-id survivor stands in when the manager itself died).
+    let confirm = 2 * (so.send_cycles(16) + so.recv_cycles(16));
+    // Every survivor restores its snapshot in parallel: the slowest governs.
+    let ps = m.page_size();
+    let restore = m
+        .crash
+        .ckpt_pages
+        .iter()
+        .enumerate()
+        .filter(|&(n, _)| n != dead)
+        .map(|(_, &p)| p)
+        .max()
+        .unwrap_or(0)
+        * (ps / 8) as Cycle;
+    // The dead node re-fetches its checkpointed pages from the survivors.
+    let pages = m.crash.ckpt_pages[dead];
+    let refetch = pages * (so.send_cycles(8) + so.recv_cycles(ps));
+    // Lock tokens re-minted at their managers, one exchange each.
+    let tokens = m.tokens_to_regen(dead);
+    let regen = tokens * (so.send_cycles(16) + so.recv_cycles(16));
+    // Deterministic replay of everything executed since the cut.
+    let replay = t.saturating_sub(ckpt_at);
+    let span = confirm + restore + refetch + regen + replay;
+    m.sink.emit(Event {
+        track: Track::Node(dead as u32),
+        at: t,
+        dur: span,
+        kind: EventKind::Rollback {
+            node: dead as u32,
+            pages,
+        },
+    });
+    if tokens > 0 {
+        m.sink.emit(Event {
+            track: Track::Node(dead as u32),
+            at: t,
+            dur: 0,
+            kind: EventKind::TokenRegen { count: tokens },
+        });
+    }
+    m.crash.stats.rollbacks += 1;
+    m.crash.stats.tokens_regenerated += tokens;
+    m.crash.stats.pages_refetched += pages;
+    m.crash.stats.recovery_cycles += span;
+    let t_rec = t + span;
+    let covering: Vec<usize> = m
+        .net
+        .plan()
+        .map(|p| {
+            p.crashes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.node == dead && c.down_at(t))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .unwrap_or_default();
+    for i in covering {
+        m.crash.recovered[i] = Some(t_rec);
+    }
+    // Packets that exhausted their retries against the dead node get a
+    // fresh allowance: post-recovery they are deliverable again.
+    if let Some(rel) = &mut m.rel {
+        rel.forgive_retries(dead);
+    }
+    (t_rec, span)
 }
 
 /// Cycles a node spends retiring collected metadata: list bookkeeping per
@@ -278,6 +489,9 @@ pub(crate) struct Routed {
     pub actions: Vec<(NodeId, Action, Cycle)>,
     /// Cycles to charge each node (requester included).
     pub charges: Vec<(NodeId, Cycle)>,
+    /// Cycles the cascade spent in crash recovery (rollback, token
+    /// regeneration, replay) — ledgered as [`Category::Recovery`].
+    pub recovery: Cycle,
     /// When the initiating node finished its sends/service.
     pub initiator_busy_until: Cycle,
 }
@@ -322,6 +536,7 @@ pub(crate) fn route_timed(
     let mut out = Routed {
         actions: Vec::new(),
         charges: Vec::new(),
+        recovery: 0,
         initiator_busy_until: t0,
     };
 
@@ -351,28 +566,34 @@ pub(crate) fn route_timed(
         let body = env.msg.body_bytes().total();
         let send_c = m.params.so.send_cycles(body);
         let recv_c = m.params.so.recv_cycles(body);
-        charges.push((from, send_c));
-        avail.insert(from, t_out + send_c);
         let depart = t_out + send_c;
         let wire = m.header_bytes + body;
-        m.traffic.record(&env, m.header_bytes);
-        m.sink.emit(Event {
-            track: Track::Node(from as u32),
-            at: depart,
-            dur: 0,
-            kind: EventKind::MsgSend {
-                to: to as u32,
-                class: env.msg.class().bit(),
-                bytes: wire as u64,
-            },
-        });
-        if let Msg::LockForward { lock, .. } = &env.msg {
+        // Scheduled node crashes sever the link *before* the fate draw, so
+        // arming a crash plan never perturbs the drop/dup/delay streams.
+        let from_down = m.down_at(from, depart);
+        let to_down = m.down_at(to, depart);
+        if !from_down {
+            charges.push((from, send_c));
+            avail.insert(from, depart);
+            m.traffic.record(&env, m.header_bytes);
             m.sink.emit(Event {
                 track: Track::Node(from as u32),
                 at: depart,
                 dur: 0,
-                kind: EventKind::LockForward { lock: *lock as u64 },
+                kind: EventKind::MsgSend {
+                    to: to as u32,
+                    class: env.msg.class().bit(),
+                    bytes: wire as u64,
+                },
             });
+            if let Msg::LockForward { lock, .. } = &env.msg {
+                m.sink.emit(Event {
+                    track: Track::Node(from as u32),
+                    at: depart,
+                    dur: 0,
+                    kind: EventKind::LockForward { lock: *lock as u64 },
+                });
+            }
         }
         let (pid, attempt) = match retrans_of {
             Some((pid, attempt)) => (Some(pid), attempt),
@@ -384,6 +605,19 @@ pub(crate) fn route_timed(
             heap.push(Reverse((expire, *seq)));
             events.insert(*seq, Ev::Retry(env.clone(), pid));
             *seq += 1;
+        }
+        if from_down || to_down {
+            // The copy never arrives: a dead sender transmits nothing; a
+            // live sender's copy still occupies the wire into the dead
+            // interface. The retransmission timer above keeps running —
+            // exhaustion against the dead peer is how the failure detector
+            // fires. Without reliability the loss is final and the engine
+            // watchdog names the crashed node.
+            m.crash.stats.messages_severed += 1;
+            if !from_down {
+                let _ = m.net.transfer(from, to, wire, depart);
+            }
+            return;
         }
         let fate = m.net.fate(from, to, env.msg.class().bit());
         let mut arrivals: Vec<Cycle> = Vec::new();
@@ -440,14 +674,50 @@ pub(crate) fn route_timed(
                     rel.note_spurious();
                 }
                 let retries = rel.bump_retry(pid);
-                assert!(
-                    retries <= m.policy.max_retries,
-                    "reliability gave up: {} -> {} seq {} still unacked after {} retransmissions",
-                    pid.0,
-                    pid.1,
-                    pid.2,
-                    m.policy.max_retries,
-                );
+                if retries > m.policy.max_retries {
+                    // Exhaustion: the failure detector just found a crashed
+                    // peer, or the link is genuinely broken — unless copies
+                    // are still queued for delivery (post-recovery wire
+                    // congestion outlasting the RTO), in which case the
+                    // sender keeps the timer alive rather than giving up.
+                    if let Some(dead) = [env.to, env.from]
+                        .into_iter()
+                        .find(|&n| m.down_at(n, t))
+                    {
+                        // If another packet's exhaustion already triggered
+                        // this recovery, wait for it; otherwise run it now.
+                        let t_rec = match m.recovery_end(dead, t) {
+                            Some(r) => r,
+                            None => {
+                                let (r, span) = recover(m, dead, env.from, t);
+                                out.recovery += span;
+                                r
+                            }
+                        };
+                        let a = avail.entry(env.from).or_insert(t0);
+                        *a = (*a).max(t_rec);
+                        send_one(
+                            m,
+                            &mut avail,
+                            &mut heap,
+                            &mut events,
+                            &mut seq,
+                            &mut pending,
+                            &mut out.charges,
+                            env,
+                            Some((pid, 0)),
+                        );
+                        continue;
+                    }
+                    assert!(
+                        pending.get(&pid).copied().unwrap_or(0) > 0,
+                        "reliability gave up: {} -> {} seq {} still unacked after {} retransmissions",
+                        pid.0,
+                        pid.1,
+                        pid.2,
+                        m.policy.max_retries,
+                    );
+                }
                 m.sink.emit(Event {
                     track: Track::Node(env.from as u32),
                     at: t,
@@ -537,6 +807,16 @@ pub(crate) fn route_timed(
         let ready = begin + service;
         avail.insert(to, ready);
         for a in handled.actions {
+            // A barrier release at its manager is the checkpoint cut: every
+            // node has arrived, so all interval state is closed — the same
+            // consistent cut the metadata GC collects at.
+            if m.checkpoints {
+                if let Action::BarrierDone(b) = &a {
+                    if to == m.nodes[to].config().barrier_manager(*b) {
+                        m.take_checkpoint(to, ready, &mut out.charges);
+                    }
+                }
+            }
             out.actions.push((to, a, ready));
         }
         for next in handled.sends {
@@ -604,8 +884,13 @@ pub(crate) fn settle(
     if me_target > now {
         let total = me_target - now;
         let proto = (local_done.saturating_sub(now) + me_extra).min(total);
+        // Crash-recovery spans (rollback, token regeneration, replay) are
+        // ledgered on the initiating processor under their own category so
+        // the breakdown's sum invariant stays exact.
+        let rec = routed.recovery.min(total - proto);
         op.advance_as(Category::Protocol, proto);
-        op.advance_as(wait, total - proto);
+        op.advance_as(Category::Recovery, rec);
+        op.advance_as(wait, total - proto - rec);
     }
     mine
 }
@@ -811,7 +1096,12 @@ impl System for DsmSys<'_, '_> {
                 + created * m.params.so.diff_cycles(m.page_size())
                 + gc_service_cycles(retired, freed);
             let ready = start.ready;
-            let routed = route_timed(m, me, t, start.sends);
+            let mut routed = route_timed(m, me, t, start.sends);
+            if ready && m.checkpoints {
+                // The manager was the last arriver: it departed inside
+                // `barrier_arrive`, so the cut is taken here.
+                m.take_checkpoint(me, t, &mut routed.charges);
+            }
             let mine = settle(op, me, routed, t, Category::SyncIdle);
             if ready || mine.iter().any(|(a, _)| *a == Action::BarrierDone(barrier)) {
                 true
@@ -858,6 +1148,7 @@ impl DsmMachine {
         if let Some(rel) = &self.rel {
             report.reliability = *rel.stats();
         }
+        report.recovery = self.crash.stats;
     }
 
     /// Machine-state dump appended to the engine watchdog's diagnostics:
@@ -880,6 +1171,28 @@ impl DsmMachine {
                 "  injected faults: {} drops, {} dups, {} delays of {} decisions\n",
                 fs.drops, fs.dups, fs.delays, fs.decisions
             ));
+        }
+        // Name suspected-crashed nodes distinctly from deadlocked ones: a
+        // node inside a crash window is not "waiting", it is gone.
+        if let Some(plan) = self.net.plan() {
+            for (i, c) in plan.crashes.iter().enumerate() {
+                let state = match (self.crash.recovered.get(i).copied().flatten(), c.restart_after)
+                {
+                    (Some(r), _) => format!("recovered at cycle {r}"),
+                    (None, Some(d)) => format!("restarts at cycle {}", c.at + d),
+                    (None, None) => "down — suspected crashed, not deadlocked".to_string(),
+                };
+                s.push_str(&format!(
+                    "  node {}: crashed at cycle {} ({state})\n",
+                    c.node, c.at
+                ));
+            }
+            if self.crash.stats.messages_severed > 0 {
+                s.push_str(&format!(
+                    "  crash model: {} message copies severed\n",
+                    self.crash.stats.messages_severed
+                ));
+            }
         }
         s
     }
@@ -1110,6 +1423,173 @@ mod tests {
             "{msg}"
         );
         assert!(msg.contains("injected faults: 1 drops"), "{msg}");
+    }
+
+    /// A retransmission policy snappy enough for the failure detector to
+    /// fire within a short workload (the default waits ~16M cycles).
+    fn snappy() -> RetransmitPolicy {
+        RetransmitPolicy {
+            timeout: 50_000,
+            backoff: 2,
+            max_retries: 4,
+            adaptive: None,
+        }
+    }
+
+    fn crash_tuning(crash_at: Cycle, restart: Option<Cycle>) -> crate::DsmTuning {
+        crate::DsmTuning {
+            faults: Some(tmk_net::FaultPlan::crash_schedule(0).with_crash(1, crash_at, restart)),
+            reliability: Some(snappy()),
+            checkpoints: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn crashed_node_recovers_with_byte_identical_results() {
+        let baseline = run_tuned(
+            DsmParams::as_sim(4),
+            &crate::DsmTuning {
+                reliability: Some(snappy()),
+                checkpoints: true,
+                ..Default::default()
+            },
+            counter_workload,
+        );
+        let t_end = *baseline.2.iter().max().unwrap();
+        // Crash node 1 mid-run, after the checkpointing has had a chance to
+        // cut at least once if a barrier passed (the initial image counts).
+        let crashed = run_tuned(
+            DsmParams::as_sim(4),
+            &crash_tuning(t_end / 2, None),
+            counter_workload,
+        );
+        assert_eq!(baseline.0, crashed.0, "results must survive the crash");
+        let stats = crashed.1.crash.stats;
+        assert!(stats.suspected >= 1, "{stats:?}");
+        assert!(stats.rollbacks >= 1, "{stats:?}");
+        assert!(stats.messages_severed > 0, "{stats:?}");
+        assert!(stats.recovery_cycles > 0, "{stats:?}");
+        assert!(stats.checkpoints >= 1, "a barrier ends the workload: {stats:?}");
+        let t_crashed = *crashed.2.iter().max().unwrap();
+        assert!(
+            t_crashed > t_end,
+            "recovery must cost time ({t_crashed} vs {t_end})"
+        );
+    }
+
+    #[test]
+    fn crash_runs_replay_bit_exactly() {
+        let go = || {
+            run_tuned(
+                DsmParams::as_sim(4),
+                &crash_tuning(400_000, None),
+                counter_workload,
+            )
+        };
+        let (r1, m1, c1) = go();
+        let (r2, m2, c2) = go();
+        assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+        assert_eq!(m1.crash.stats, m2.crash.stats);
+        assert_eq!(m1.traffic, m2.traffic);
+    }
+
+    #[test]
+    fn transient_outage_is_masked_by_retransmission_alone() {
+        // A short self-restarting outage with a patient RTO: the first
+        // retry lands after the node is back, so no rollback is needed.
+        let tuning = crate::DsmTuning {
+            faults: Some(
+                tmk_net::FaultPlan::crash_schedule(0).with_crash(1, 300_000, Some(100_000)),
+            ),
+            reliability: Some(RetransmitPolicy::default()),
+            checkpoints: true,
+            ..Default::default()
+        };
+        let (results, m, _) = run_tuned(DsmParams::as_sim(4), &tuning, counter_workload);
+        assert!(results.into_iter().all(|v| v == 40));
+        let stats = m.crash.stats;
+        assert_eq!(stats.rollbacks, 0, "{stats:?}");
+        assert_eq!(stats.suspected, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn crash_without_checkpoint_aborts_naming_the_dead_node() {
+        let tuning = crate::DsmTuning {
+            faults: Some(tmk_net::FaultPlan::crash_schedule(0).with_crash(1, 300_000, None)),
+            reliability: Some(snappy()),
+            checkpoints: false,
+            ..Default::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_tuned(DsmParams::as_sim(4), &tuning, counter_workload);
+        }))
+        .expect_err("an unrecoverable crash must abort");
+        let msg = panic_message(err);
+        assert!(
+            msg.contains("node 1 crashed and is unrecoverable: no checkpoint armed"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn crash_without_reliability_is_named_in_the_watchdog_dump() {
+        // No retransmission layer: messages into the dead node are lost for
+        // good, the cluster wedges, and the diagnostics must say "crashed",
+        // not merely "deadlocked".
+        let tuning = crate::DsmTuning {
+            faults: Some(tmk_net::FaultPlan::crash_schedule(0).with_crash(1, 300_000, None)),
+            checkpoints: true,
+            ..Default::default()
+        };
+        let machine = DsmMachine::new(DsmParams::as_sim(4), 1 << 16, &tuning);
+        let engine =
+            Engine::new(machine, 4).with_diagnostics(|m: &DsmMachine| m.diagnostics());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(|ctx| {
+                let sys = DsmSys::new(ctx);
+                if sys.pid() == 1 {
+                    sys.lock(0); // takes the token from manager node 0 ...
+                    sys.compute(400_000); // ... and is holding it at the crash
+                    sys.unlock(0);
+                } else {
+                    sys.compute(350_000);
+                    sys.lock(0); // forwarded into the dead node: never granted
+                    sys.unlock(0);
+                }
+                sys.barrier(0);
+            });
+        }))
+        .expect_err("the wedged run must abort instead of hanging");
+        let msg = panic_message(err);
+        assert!(
+            msg.contains("node 1: crashed at cycle 300000 (down — suspected crashed, not deadlocked)"),
+            "{msg}"
+        );
+        assert!(msg.contains("message copies severed"), "{msg}");
+    }
+
+    #[test]
+    fn checkpoints_alone_do_not_change_results() {
+        let plain = run_tuned(
+            DsmParams::as_sim(4),
+            &crate::DsmTuning::default(),
+            counter_workload,
+        );
+        let armed = run_tuned(
+            DsmParams::as_sim(4),
+            &crate::DsmTuning {
+                checkpoints: true,
+                ..Default::default()
+            },
+            counter_workload,
+        );
+        assert_eq!(plain.0, armed.0);
+        assert!(armed.1.crash.stats.checkpoints >= 1);
+        let t_plain = *plain.2.iter().max().unwrap();
+        let t_armed = *armed.2.iter().max().unwrap();
+        assert!(t_armed >= t_plain, "checkpoint copies cost time");
     }
 
     #[test]

@@ -114,7 +114,22 @@ impl HsMachine {
                 .map(|i| Node::new(i, cfg.clone()))
                 .collect(),
             buses: (0..params.nodes)
-                .map(|_| SnoopBus::new(params.per_node, params.cache, params.bus))
+                .map(|node| {
+                    let mut bus = SnoopBus::new(params.per_node, params.cache, params.bus);
+                    // The fault plan's drop rate doubles as the per-node
+                    // flaky-bus strike rate (a struck transaction retries:
+                    // masked, slower, never a changed result). Each node's
+                    // bus draws from its own seed stream.
+                    if let Some(plan) = &tuning.faults {
+                        if plan.drop > 0.0 {
+                            bus.set_faults(tmk_mem::FabricFaults::new(
+                                plan.seed ^ node as u64,
+                                plan.drop,
+                            ));
+                        }
+                    }
+                    bus
+                })
                 .collect(),
             net: PointToPointNet::new(params.nodes, params.net),
             traffic: Traffic::default(),
@@ -787,6 +802,7 @@ impl HsMachine {
             bus.invalidations += s.invalidations;
             bus.writebacks += s.writebacks;
             bus.data_bytes += s.data_bytes;
+            bus.retries += s.retries;
         }
         report.bus = Some(bus);
         for (node, b) in self.buses.iter().enumerate() {

@@ -56,6 +56,37 @@ pub struct RunReport {
     pub reliability: tmk_core::RelStats,
     /// Injected network faults (all-zero on a perfect network).
     pub net_faults: tmk_net::FaultStats,
+    /// Crash-fault and checkpoint/recovery statistics (all-zero unless the
+    /// fault plan schedules node crashes or checkpointing is armed).
+    pub recovery: RecoveryStats,
+}
+
+/// Counters from the node-crash fault model: barrier-epoch checkpoints,
+/// failure detections, and the rollback-recovery work they triggered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Barrier-consistent checkpoints taken.
+    pub checkpoints: u64,
+    /// Messages severed by crash windows (neither delivered nor counted as
+    /// injected drops).
+    pub messages_severed: u64,
+    /// Nodes declared suspected-dead by retransmission exhaustion.
+    pub suspected: u64,
+    /// Cluster rollbacks to the last checkpoint cut.
+    pub rollbacks: u64,
+    /// Lock tokens re-minted at their managers during recovery.
+    pub tokens_regenerated: u64,
+    /// Pages the crashed node re-fetched after restoring the cut.
+    pub pages_refetched: u64,
+    /// Cycles charged to [`tmk_trace::Category::Recovery`].
+    pub recovery_cycles: u64,
+}
+
+impl RecoveryStats {
+    /// Whether anything happened (drives conditional JSON emission).
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
 }
 
 impl RunReport {
@@ -136,31 +167,60 @@ impl RunReport {
                     .set("evictions", self.cache.evictions)
                     .set("dirty_evictions", self.cache.dirty_evictions),
             );
+        // The crash/recovery block exists only for runs with crashes or
+        // checkpointing armed; older committed records stay byte-identical.
+        if self.recovery.any() {
+            j = j.set(
+                "recovery",
+                Json::obj()
+                    .set("checkpoints", self.recovery.checkpoints)
+                    .set("messages_severed", self.recovery.messages_severed)
+                    .set("suspected", self.recovery.suspected)
+                    .set("rollbacks", self.recovery.rollbacks)
+                    .set("tokens_regenerated", self.recovery.tokens_regenerated)
+                    .set("pages_refetched", self.recovery.pages_refetched)
+                    .set("recovery_cycles", self.recovery.recovery_cycles),
+            );
+        }
         j = j.set(
             "bus",
             match &self.bus {
                 None => Json::Null,
-                Some(b) => Json::obj()
-                    .set("transactions", b.transactions)
-                    .set("busy_cycles", b.busy_cycles)
-                    .set("cache_supplies", b.cache_supplies)
-                    .set("memory_supplies", b.memory_supplies)
-                    .set("invalidations", b.invalidations)
-                    .set("writebacks", b.writebacks)
-                    .set("data_bytes", b.data_bytes),
+                Some(b) => {
+                    let mut bus = Json::obj()
+                        .set("transactions", b.transactions)
+                        .set("busy_cycles", b.busy_cycles)
+                        .set("cache_supplies", b.cache_supplies)
+                        .set("memory_supplies", b.memory_supplies)
+                        .set("invalidations", b.invalidations)
+                        .set("writebacks", b.writebacks)
+                        .set("data_bytes", b.data_bytes);
+                    // Only fault-injected runs retry; keep clean records
+                    // byte-identical by omitting the zero.
+                    if b.retries > 0 {
+                        bus = bus.set("retries", b.retries);
+                    }
+                    bus
+                }
             },
         );
         j.set(
             "directory",
             match &self.directory {
                 None => Json::Null,
-                Some(d) => Json::obj()
-                    .set("local_misses", d.local_misses)
-                    .set("remote_clean_misses", d.remote_clean_misses)
-                    .set("remote_dirty_misses", d.remote_dirty_misses)
-                    .set("upgrades", d.upgrades)
-                    .set("invalidations", d.invalidations)
-                    .set("remote_bytes", d.remote_bytes),
+                Some(d) => {
+                    let mut dir = Json::obj()
+                        .set("local_misses", d.local_misses)
+                        .set("remote_clean_misses", d.remote_clean_misses)
+                        .set("remote_dirty_misses", d.remote_dirty_misses)
+                        .set("upgrades", d.upgrades)
+                        .set("invalidations", d.invalidations)
+                        .set("remote_bytes", d.remote_bytes);
+                    if d.retries > 0 {
+                        dir = dir.set("retries", d.retries);
+                    }
+                    dir
+                }
             },
         )
     }

@@ -74,8 +74,11 @@ pub struct DsmTuning {
     /// Which protocol the AS cluster runs (the hybrid always runs LRC).
     pub protocol: crate::dsm::DsmProtocol,
     /// Seeded network fault injection on the AS cluster's links
-    /// (drop/duplicate/delay); `None` = perfect network. The hybrid
-    /// currently ignores this (its inter-node traffic stays fault-free).
+    /// (drop/duplicate/delay, plus scheduled node crashes); `None` = a
+    /// perfect network. On the hybrid the plan's drop rate is reused as
+    /// each node's flaky-bus strike rate (struck transactions retry:
+    /// masked by hardware, costing only time); its inter-node traffic
+    /// stays fault-free.
     pub faults: Option<tmk_net::FaultPlan>,
     /// Arms the end-to-end retransmission layer (per-message sequence
     /// numbers, piggybacked acks, timeout + exponential backoff,
@@ -91,6 +94,13 @@ pub struct DsmTuning {
     /// `Some(u64::MAX)` keeps the ledger without ever collecting
     /// (the measurement baseline for GC ablations).
     pub gc: Option<u64>,
+    /// Arms barrier-epoch checkpointing on the AS cluster: every barrier
+    /// release at its manager records a consistent cut, the prerequisite
+    /// for surviving a crash schedule in [`tmk_net::FaultPlan::crashes`].
+    /// Checkpoint copies and crash recovery cost simulated time (the copy
+    /// work lands with the barrier episode, recovery in its own ledger
+    /// category), so this is off by default.
+    pub checkpoints: bool,
 }
 
 /// The five platforms of the case study.
@@ -123,6 +133,11 @@ pub enum Platform {
     Ah {
         /// Processor count (≤ 64).
         procs: usize,
+        /// Seeded flaky-fabric injection: `drop` is reused as the per-
+        /// transaction strike rate (a struck directory request is NACKed
+        /// and retried — masked by hardware, it only costs time). `None`
+        /// = a fault-free fabric.
+        faults: Option<tmk_net::FaultPlan>,
     },
     /// The hardware–software hybrid: `nodes` bus-based SMPs of `per_node`
     /// processors each.
@@ -143,7 +158,7 @@ impl Platform {
     pub fn procs(&self) -> usize {
         match self {
             Platform::Dec => 1,
-            Platform::Sgi { procs } | Platform::Ah { procs } => *procs,
+            Platform::Sgi { procs } | Platform::Ah { procs, .. } => *procs,
             Platform::AsCluster { procs, .. } => *procs,
             Platform::Hs {
                 nodes, per_node, ..
@@ -208,6 +223,17 @@ impl Platform {
                         .collect();
                     s.push_str(&format!("s{}", ls.join(",")));
                 }
+                if !f.crashes.is_empty() {
+                    let cs: Vec<String> = f
+                        .crashes
+                        .iter()
+                        .map(|c| match c.restart_after {
+                            Some(d) => format!("{}@{}+{}", c.node, c.at, d),
+                            None => format!("{}@{}", c.node, c.at),
+                        })
+                        .collect();
+                    s.push_str(&format!("/cr{}", cs.join(",")));
+                }
             }
             if let Some(r) = &tuning.reliability {
                 s.push_str(&format!("/rt{}b{}r{}", r.timeout, r.backoff, r.max_retries));
@@ -221,12 +247,21 @@ impl Platform {
             if let Some(g) = tuning.gc {
                 s.push_str(&format!("/gc{g}"));
             }
+            if tuning.checkpoints {
+                s.push_str("/ck");
+            }
             s
         }
         match self {
             Platform::Dec => "dec".to_string(),
             Platform::Sgi { procs } => format!("sgi/p{procs}"),
-            Platform::Ah { procs } => format!("ah/p{procs}"),
+            Platform::Ah { procs, faults } => {
+                let mut s = format!("ah/p{procs}");
+                if let Some(f) = faults {
+                    s.push_str(&format!("/fb{}d{}", f.seed, f.drop));
+                }
+                s
+            }
             Platform::AsCluster {
                 procs,
                 part1,
@@ -262,6 +297,14 @@ impl Platform {
             part1: false,
             so: None,
             tuning: DsmTuning::default(),
+        }
+    }
+
+    /// Convenience constructor for the fault-free AH design.
+    pub fn ah(procs: usize) -> Platform {
+        Platform::Ah {
+            procs,
+            faults: None,
         }
     }
 
@@ -359,8 +402,11 @@ where
             init(&p, &mut machine);
             run_hw(engine, machine, *procs, &p, body, buf.clone())
         }
-        Platform::Ah { procs } => {
+        Platform::Ah { procs, faults } => {
             let mut machine = HwMachine::new(HwParams::ah(*procs), segment_bytes);
+            if let Some(f) = faults {
+                machine.set_fabric_faults(tmk_mem::FabricFaults::new(f.seed, f.drop));
+            }
             init(&p, &mut machine);
             run_hw(engine, machine, *procs, &p, body, buf.clone())
         }
@@ -689,7 +735,7 @@ mod tests {
 
     #[test]
     fn ah_directory_machine() {
-        let (r, rep) = exercise(Platform::Ah { procs: 16 });
+        let (r, rep) = exercise(Platform::ah(16));
         assert!(r.into_iter().all(|v| v == expected(16)));
         assert!(rep.directory.is_some());
     }
@@ -753,6 +799,72 @@ mod tests {
         };
         assert_eq!(gc.key(), "as/p8/gc1048576");
         assert_ne!(gc.key(), Platform::as_sim(8).key());
+        let recover = Platform::AsCluster {
+            procs: 8,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                faults: Some(
+                    tmk_net::FaultPlan::crash_schedule(5).with_crash(3, 100_000, None),
+                ),
+                checkpoints: true,
+                ..Default::default()
+            },
+        };
+        assert_eq!(recover.key(), "as/p8/fs5d0u0y0c0mff/cr3@100000/ck");
+        let transient = Platform::AsCluster {
+            procs: 8,
+            part1: false,
+            so: None,
+            tuning: DsmTuning {
+                faults: Some(
+                    tmk_net::FaultPlan::crash_schedule(5).with_crash(3, 100_000, Some(50_000)),
+                ),
+                ..Default::default()
+            },
+        };
+        assert_eq!(transient.key(), "as/p8/fs5d0u0y0c0mff/cr3@100000+50000");
+        assert_eq!(Platform::ah(16).key(), "ah/p16");
+        let flaky_ah = Platform::Ah {
+            procs: 16,
+            faults: Some(tmk_net::FaultPlan::drop_rate(9, 0.01)),
+        };
+        assert_eq!(flaky_ah.key(), "ah/p16/fb9d0.01");
+    }
+
+    #[test]
+    fn flaky_ah_fabric_retries_without_changing_results() {
+        let clean = exercise(Platform::ah(16));
+        let flaky = exercise(Platform::Ah {
+            procs: 16,
+            faults: Some(tmk_net::FaultPlan::drop_rate(9, 0.05)),
+        });
+        assert_eq!(clean.0, flaky.0, "fabric faults are masked by retries");
+        let d_clean = clean.1.directory.unwrap();
+        let d_flaky = flaky.1.directory.unwrap();
+        assert_eq!(d_clean.retries, 0);
+        assert!(d_flaky.retries > 0, "{d_flaky:?}");
+        assert!(flaky.1.cycles > clean.1.cycles, "retries cost time");
+    }
+
+    #[test]
+    fn flaky_hs_buses_retry_without_changing_results() {
+        let clean = exercise(Platform::hs_sim(4, 4));
+        let flaky = exercise(Platform::Hs {
+            nodes: 4,
+            per_node: 4,
+            so: None,
+            tuning: DsmTuning {
+                faults: Some(tmk_net::FaultPlan::drop_rate(9, 0.05)),
+                reliability: Some(tmk_core::RetransmitPolicy::default()),
+                ..Default::default()
+            },
+        });
+        assert_eq!(clean.0, flaky.0, "bus faults are masked by retries");
+        let b_clean = clean.1.bus.unwrap();
+        let b_flaky = flaky.1.bus.unwrap();
+        assert_eq!(b_clean.retries, 0);
+        assert!(b_flaky.retries > 0, "{b_flaky:?}");
     }
 
     #[test]

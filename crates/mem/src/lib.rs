@@ -15,10 +15,12 @@
 
 mod cache;
 mod directory;
+mod fault;
 mod snoop;
 
 pub use cache::{CacheParams, CacheStats, DirectCache, LineState, Probe};
 pub use directory::{DirAccess, Directory, DirectoryParams, DirectoryStats};
+pub use fault::FabricFaults;
 pub use snoop::{BusParams, BusStats, SnoopAccess, SnoopBus};
 
 /// A cache-line address (byte address divided by the block size).

@@ -274,6 +274,32 @@ pub enum Fate {
     Delay(Cycle),
 }
 
+/// A scheduled node crash: at cycle `at`, every link touching `node` is
+/// severed. With `restart_after = Some(d)` the node's links come back at
+/// `at + d` (the node rebooted on its own); with `None` the node stays dark
+/// until a recovery layer above the network declares it restored.
+///
+/// Crashes are *not* randomized: the schedule is an explicit list, and the
+/// severing decision consumes no randomness, so arming a crash never
+/// perturbs the drop/dup/delay streams of the same plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crash {
+    /// The node whose links are severed.
+    pub node: usize,
+    /// The cycle the crash takes effect.
+    pub at: Cycle,
+    /// Optional self-restart delay; `None` means down until recovered.
+    pub restart_after: Option<Cycle>,
+}
+
+impl Crash {
+    /// Whether the node's links are severed at cycle `t` (ignoring any
+    /// recovery the layers above may have performed).
+    pub fn down_at(&self, t: Cycle) -> bool {
+        t >= self.at && self.restart_after.is_none_or(|d| t < self.at + d)
+    }
+}
+
 /// A seeded, deterministic schedule of network faults.
 ///
 /// Rates are independent per-message probabilities, rolled in delivery
@@ -282,7 +308,8 @@ pub enum Fate {
 /// Faults can be restricted to a subset of message classes (`class_mask`, a
 /// bitmask the protocol layer derives from its `MsgClass`) and to specific
 /// directed links (`only_links`); per-link rate scaling comes from
-/// `link_scales`.
+/// `link_scales`. Node crashes ride in the same plan as an explicit
+/// schedule ([`Crash`]) rather than a probability.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Seed for the fault schedule.
@@ -303,6 +330,8 @@ pub struct FaultPlan {
     /// Per-link rate multipliers `(from, to, scale)`; links not listed use
     /// the base rates.
     pub link_scales: Vec<(usize, usize, f64)>,
+    /// Scheduled node crashes, applied on top of the probabilistic faults.
+    pub crashes: Vec<Crash>,
 }
 
 /// `class_mask` value faulting every message class.
@@ -321,7 +350,26 @@ impl FaultPlan {
             class_mask: ALL_CLASSES,
             only_links: Vec::new(),
             link_scales: Vec::new(),
+            crashes: Vec::new(),
         }
+    }
+
+    /// A plan with no probabilistic faults at all, only scheduled crashes
+    /// (added with [`with_crash`](Self::with_crash)). The seed still
+    /// matters when drop/dup/delay rates are layered on afterwards.
+    pub fn crash_schedule(seed: u64) -> Self {
+        FaultPlan::drop_rate(seed, 0.0)
+    }
+
+    /// Schedules a crash of `node` at cycle `at`, with an optional
+    /// self-restart delay.
+    pub fn with_crash(mut self, node: usize, at: Cycle, restart_after: Option<Cycle>) -> Self {
+        self.crashes.push(Crash {
+            node,
+            at,
+            restart_after,
+        });
+        self
     }
 
     /// Sets the duplication probability.
@@ -351,7 +399,12 @@ impl FaultPlan {
 
     /// Whether the plan can affect any message at all.
     pub fn is_active(&self) -> bool {
-        self.drop > 0.0 || self.dup > 0.0 || self.delay > 0.0
+        self.drop > 0.0 || self.dup > 0.0 || self.delay > 0.0 || !self.crashes.is_empty()
+    }
+
+    /// The first scheduled crash of `node`, if any.
+    pub fn crash_of(&self, node: usize) -> Option<&Crash> {
+        self.crashes.iter().find(|c| c.node == node)
     }
 
     fn scale(&self, from: usize, to: usize) -> f64 {
@@ -662,6 +715,35 @@ mod tests {
         // Matching class and link: dropped.
         assert_eq!(lossy.fate(0, 1, 0b0010), Fate::Drop);
         assert_eq!(lossy.fault_stats().decisions, 1, "filtered fates draw nothing");
+    }
+
+    #[test]
+    fn crash_windows_and_activity() {
+        let plan = FaultPlan::crash_schedule(11).with_crash(2, 1000, Some(500));
+        assert!(plan.is_active(), "a crash-only plan is active");
+        let c = plan.crash_of(2).unwrap();
+        assert!(!c.down_at(999));
+        assert!(c.down_at(1000));
+        assert!(c.down_at(1499));
+        assert!(!c.down_at(1500), "self-restart ends the window");
+        assert!(plan.crash_of(1).is_none());
+
+        let forever = FaultPlan::crash_schedule(11).with_crash(0, 7, None);
+        assert!(forever.crash_of(0).unwrap().down_at(u64::MAX));
+        assert!(!FaultPlan::drop_rate(1, 0.0).is_active());
+    }
+
+    #[test]
+    fn crash_schedule_does_not_perturb_fault_streams() {
+        // The same probabilistic plan with and without a crash schedule
+        // must produce identical fate streams: severing is not randomized.
+        let base = FaultPlan::drop_rate(7, 0.3).with_dup(0.2);
+        let with_crash = base.clone().with_crash(1, 50, None);
+        let mut a = LossyNet::faulty(PointToPointNet::new(4, NetParams::atm_100mhz()), base);
+        let mut b = LossyNet::faulty(PointToPointNet::new(4, NetParams::atm_100mhz()), with_crash);
+        let fates_a: Vec<Fate> = (0..200).map(|i| a.fate(i % 4, (i + 1) % 4, 1)).collect();
+        let fates_b: Vec<Fate> = (0..200).map(|i| b.fate(i % 4, (i + 1) % 4, 1)).collect();
+        assert_eq!(fates_a, fates_b);
     }
 
     #[test]

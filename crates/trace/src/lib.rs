@@ -46,7 +46,7 @@ use std::sync::Mutex;
 /// crate is a leaf and cannot depend on the simulator).
 pub type Cycle = u64;
 
-/// Where a processor's cycles went. The six categories partition the wall
+/// Where a processor's cycles went. The categories partition the wall
 /// clock: for every processor, the per-category ledger sums to its final
 /// clock exactly (see [`TraceBuf::check`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,10 +68,13 @@ pub enum Category {
     /// Cycles stolen by servicing other processors' requests (handler
     /// time charged by the engine at scheduling points).
     Stolen,
+    /// Crash-recovery work: failure detection, checkpoint rollback,
+    /// replay, page refetch, and lock-token regeneration.
+    Recovery,
 }
 
 /// Number of [`Category`] variants (ledger row width).
-pub const NCAT: usize = 6;
+pub const NCAT: usize = 7;
 
 impl Category {
     /// Every category, in ledger order.
@@ -82,6 +85,7 @@ impl Category {
         Category::SyncIdle,
         Category::Network,
         Category::Stolen,
+        Category::Recovery,
     ];
 
     /// This category's ledger column.
@@ -93,6 +97,7 @@ impl Category {
             Category::SyncIdle => 3,
             Category::Network => 4,
             Category::Stolen => 5,
+            Category::Recovery => 6,
         }
     }
 
@@ -105,6 +110,7 @@ impl Category {
             Category::SyncIdle => "sync_idle",
             Category::Network => "network",
             Category::Stolen => "stolen",
+            Category::Recovery => "recovery",
         }
     }
 }
@@ -261,6 +267,35 @@ pub enum EventKind {
         /// Whether the access was a write.
         write: bool,
     },
+    /// A scheduled node crash severed the node's links.
+    NodeCrash {
+        /// The crashed node.
+        node: u32,
+    },
+    /// The failure detector declared a node suspected-dead
+    /// (retransmit exhaustion confirmed by the barrier manager's lease).
+    NodeSuspected {
+        /// The suspected node.
+        node: u32,
+    },
+    /// A barrier-epoch checkpoint was taken on this node.
+    CheckpointTake {
+        /// Resident pages snapshotted.
+        pages: u64,
+    },
+    /// The cluster rolled back to the last checkpoint epoch and replayed.
+    Rollback {
+        /// The node whose failure triggered the rollback.
+        node: u32,
+        /// Pages re-fetched to rebuild the crashed node's working set.
+        pages: u64,
+    },
+    /// Lock tokens lost with a crashed node were re-minted at their
+    /// managers from survivor metadata.
+    TokenRegen {
+        /// Tokens regenerated.
+        count: u64,
+    },
 }
 
 impl EventKind {
@@ -281,6 +316,11 @@ impl EventKind {
             EventKind::LinkXfer { .. } => "link_xfer",
             EventKind::BusTxn { .. } => "bus_txn",
             EventKind::DirTxn { .. } => "dir_txn",
+            EventKind::NodeCrash { .. } => "node_crash",
+            EventKind::NodeSuspected { .. } => "node_suspected",
+            EventKind::CheckpointTake { .. } => "checkpoint_take",
+            EventKind::Rollback { .. } => "rollback",
+            EventKind::TokenRegen { .. } => "token_regen",
         }
     }
 
@@ -341,6 +381,18 @@ impl EventKind {
             }
             EventKind::BusTxn { write } | EventKind::DirTxn { write } => {
                 let _ = write!(out, ",\"args\":{{\"write\":{write}}}");
+            }
+            EventKind::NodeCrash { node } | EventKind::NodeSuspected { node } => {
+                let _ = write!(out, ",\"args\":{{\"node\":{node}}}");
+            }
+            EventKind::CheckpointTake { pages } => {
+                let _ = write!(out, ",\"args\":{{\"pages\":{pages}}}");
+            }
+            EventKind::Rollback { node, pages } => {
+                let _ = write!(out, ",\"args\":{{\"node\":{node},\"pages\":{pages}}}");
+            }
+            EventKind::TokenRegen { count } => {
+                let _ = write!(out, ",\"args\":{{\"count\":{count}}}");
             }
         }
     }
@@ -461,8 +513,9 @@ impl TraceBuf {
             if sum != clock {
                 return Err(format!(
                     "proc {p}: ledger sums to {sum} but the clock is {clock} \
-                     (compute={} mem_stall={} protocol={} sync_idle={} network={} stolen={})",
-                    row[0], row[1], row[2], row[3], row[4], row[5],
+                     (compute={} mem_stall={} protocol={} sync_idle={} network={} \
+                     stolen={} recovery={})",
+                    row[0], row[1], row[2], row[3], row[4], row[5], row[6],
                 ));
             }
         }

@@ -27,7 +27,7 @@ fn main() {
     );
     for procs in [8usize, 16, 32, 64] {
         let as_out = run_workload(&Platform::as_sim(procs), &w);
-        let ah_out = run_workload(&Platform::Ah { procs }, &w);
+        let ah_out = run_workload(&Platform::ah(procs), &w);
         let hs_out = run_workload(&Platform::hs_sim(procs / 8, 8), &w);
         println!(
             "{procs:>6} {:>8.2} {:>8.2} {:>8.2}    {:>12} {:>12}",

@@ -22,6 +22,17 @@ timeout "${CHAOS_TIMEOUT:-600}" \
     ./target/release/suite --experiment chaos --quick \
     --json --out target/smoke > target/smoke/chaos.txt
 
+echo "== recovery: node-crash smoke (byte-identity asserted by the renderer) =="
+# The experiment's renderer fails (nonzero exit) unless every crashed run
+# reproduces the crash-free checksums, permanent crashes roll back, and
+# transient outages are masked by retransmission alone; the grep below
+# additionally pins that the quick tier actually exercised a rollback.
+timeout "${CHAOS_TIMEOUT:-600}" \
+    ./target/release/suite --experiment recovery --quick \
+    --json --out target/smoke > target/smoke/recovery.txt
+grep -q "rollbacks=1" target/smoke/recovery.txt \
+    || { echo "recovery smoke saw no rollback"; exit 1; }
+
 echo "== scaling: barrier-time GC memory bound =="
 # The experiment's renderer fails (nonzero exit) unless GC-on runs stay
 # result-identical to GC-free and hold the diff-cache and interval-store

@@ -92,7 +92,7 @@ fn hardware_platforms_report_their_fabric() {
     assert!(sgi.directory.is_none());
     assert_eq!(sgi.traffic.total_msgs(), 0);
 
-    let ah = run_workload(&Platform::Ah { procs: 4 }, &w).report;
+    let ah = run_workload(&Platform::ah(4), &w).report;
     assert!(ah.directory.is_some());
     assert!(ah.bus.is_none());
 
@@ -148,7 +148,7 @@ fn per_class_counters_reconcile_with_recorded_totals() {
         Platform::treadmarks(4),
         Platform::as_sim(4),
         Platform::hs_sim(2, 2),
-        Platform::Ah { procs: 4 },
+        Platform::ah(4),
     ] {
         let r = run_workload(&p, &w).report;
         r.traffic

@@ -12,7 +12,7 @@ fn platforms(procs: usize) -> Vec<Platform> {
         Platform::Sgi { procs: procs.min(8) },
         Platform::treadmarks(procs.min(8)),
         Platform::as_sim(procs),
-        Platform::Ah { procs },
+        Platform::ah(procs),
         Platform::hs_sim(procs.div_ceil(4), 4),
     ]
 }
@@ -110,7 +110,7 @@ fn ilink_agrees_at_fixed_proc_count() {
     for p in [
         Platform::treadmarks(procs),
         Platform::as_sim(procs),
-        Platform::Ah { procs },
+        Platform::ah(procs),
         Platform::hs_sim(2, 2),
     ] {
         let v = total(&p, &cfg);
@@ -126,7 +126,7 @@ fn single_processor_platforms_agree_with_sequential() {
         Platform::Dec,
         Platform::Sgi { procs: 1 },
         Platform::treadmarks(1),
-        Platform::Ah { procs: 1 },
+        Platform::ah(1),
     ] {
         assert_close(total(&p, &cfg), seq, p.name());
     }

@@ -40,7 +40,7 @@ fn hybrid_runs_are_identical() {
 #[test]
 fn directory_runs_are_identical() {
     let w = tsp::Tsp::new(8);
-    let p = Platform::Ah { procs: 8 };
+    let p = Platform::ah(8);
     assert_eq!(fingerprint(&p, &w), fingerprint(&p, &w));
 }
 
