@@ -98,10 +98,77 @@ pub enum WorkloadSpec {
         /// Use the tiny input.
         tiny: bool,
     },
+    /// The multi-tenant DSM service on the real-thread runtime
+    /// (`tmk_core::service`): tenants multiplexed over one long-lived
+    /// cluster with crash recovery armed. The simulated platform of the
+    /// request is ignored beyond its processor count.
+    Service(ServiceSpec),
     /// A job that always panics — exercises the scheduler's per-job
     /// isolation in tests.
     #[doc(hidden)]
     PanicProbe,
+}
+
+/// Identity of one service run: every knob is an integer (rates in
+/// per-mille) so the spec derives `Eq` for memoization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSpec {
+    /// DSM nodes in the long-lived cluster.
+    pub nodes: usize,
+    /// Concurrent tenant applications.
+    pub tenants: usize,
+    /// Run only this tenant: the fault-free solo baseline.
+    pub solo: Option<usize>,
+    /// Shared slots per tenant.
+    pub keys: usize,
+    /// Open-loop generation horizon in admission windows.
+    pub windows: u64,
+    /// Mean arrivals per tenant per window.
+    pub offered: u64,
+    /// Bounded per-tenant queue depth.
+    pub queue_cap: usize,
+    /// Cluster-wide admissions per window.
+    pub batch_cap: usize,
+    /// Client-plan seed.
+    pub seed: u64,
+    /// Per-copy channel drop probability, per-mille.
+    pub drop_pm: u64,
+    /// Per-copy channel delay probability, per-mille (200 µs holds).
+    pub delay_pm: u64,
+    /// Schedule the canonical crash (node 1, epoch 1, first operation).
+    pub crash: bool,
+}
+
+impl ServiceSpec {
+    fn config(&self) -> tmk_core::service::ServiceConfig {
+        tmk_core::service::ServiceConfig {
+            nodes: self.nodes,
+            tenants: self.tenants,
+            keys_per_tenant: self.keys,
+            windows: self.windows,
+            window_us: 1_000,
+            offered_per_window: self.offered,
+            zipf_milli: 900,
+            queue_cap: self.queue_cap,
+            batch_cap: self.batch_cap,
+            seed: self.seed,
+            solo: self.solo,
+        }
+    }
+
+    fn faults(&self) -> tmk_core::runtime::ChannelFaults {
+        let mut f = tmk_core::runtime::ChannelFaults::seeded(self.seed ^ 0xfa17);
+        if self.drop_pm > 0 {
+            f = f.drop_rate(self.drop_pm as f64 / 1000.0);
+        }
+        if self.delay_pm > 0 {
+            f = f.delay_rate(self.delay_pm as f64 / 1000.0, 200);
+        }
+        if self.crash {
+            f = f.crash(1 % self.nodes, 1, 1);
+        }
+        f
+    }
 }
 
 impl WorkloadSpec {
@@ -128,6 +195,32 @@ impl WorkloadSpec {
                 } else {
                     base.to_string()
                 }
+            }
+            WorkloadSpec::Service(s) => {
+                let mut id = format!(
+                    "service-n{}t{}k{}w{}o{}q{}b{}s{:x}",
+                    s.nodes,
+                    s.tenants,
+                    s.keys,
+                    s.windows,
+                    s.offered,
+                    s.queue_cap,
+                    s.batch_cap,
+                    s.seed,
+                );
+                if let Some(t) = s.solo {
+                    id.push_str(&format!("-solo{t}"));
+                }
+                if s.drop_pm > 0 {
+                    id.push_str(&format!("-d{}", s.drop_pm));
+                }
+                if s.delay_pm > 0 {
+                    id.push_str(&format!("-l{}", s.delay_pm));
+                }
+                if s.crash {
+                    id.push_str("-crash");
+                }
+                id
             }
             WorkloadSpec::PanicProbe => "panic-probe".to_string(),
         }
@@ -197,6 +290,13 @@ impl WorkloadSpec {
         }
         match self {
             WorkloadSpec::Tsp { .. } => d(&self.tsp_instance()),
+            WorkloadSpec::Service(s) => (
+                "service".to_string(),
+                format!(
+                    "tenants={} keys={} windows={} offered={}/win drop={}pm delay={}pm crash={}",
+                    s.tenants, s.keys, s.windows, s.offered, s.drop_pm, s.delay_pm, s.crash,
+                ),
+            ),
             WorkloadSpec::PanicProbe => ("panic-probe".to_string(), String::new()),
             _ => unreachable!("covered above"),
         }
@@ -234,10 +334,104 @@ impl WorkloadSpec {
             WorkloadSpec::Tsp { .. } => {
                 run_workload_traced(platform, &self.tsp_instance(), trace)
             }
+            WorkloadSpec::Service(s) => run_service_traced(s, trace),
             WorkloadSpec::PanicProbe => panic!("deliberate panic probe"),
             _ => unreachable!("covered above"),
         }
     }
+}
+
+/// Runs the multi-tenant DSM service on the real-thread runtime and
+/// packages the outcome like a simulated run: the results vector carries
+/// the per-tenant checksums (exactly representable in 53 bits) and the
+/// report's service block carries the per-tenant schedule metrics. All of
+/// it is deterministic, so service runs memoize and cross-check like any
+/// simulated workload.
+fn run_service_traced(
+    spec: &ServiceSpec,
+    trace: Option<usize>,
+) -> (Outcome<f64>, Option<Arc<TraceBuf>>) {
+    use tmk_core::runtime::RecoveryEvent;
+    use tmk_trace::{Event, EventKind, Track};
+
+    let started = std::time::Instant::now();
+    let out = tmk_core::service::run_service(&spec.config(), spec.faults());
+    let host_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = out.report;
+    let rec = out.recovery;
+
+    let buf = trace.map(|cap| {
+        let b = TraceBuf::new(spec.nodes, cap);
+        for ev in &rec.events {
+            let (track, at, kind) = match *ev {
+                RecoveryEvent::NodeCrash { node, at_us, .. } => (
+                    Track::Node(node as u32),
+                    at_us,
+                    EventKind::NodeCrash { node: node as u32 },
+                ),
+                RecoveryEvent::NodeSuspected { node, at_us } => (
+                    Track::Node(node as u32),
+                    at_us,
+                    EventKind::NodeSuspected { node: node as u32 },
+                ),
+                RecoveryEvent::CheckpointTake { pages, at_us, .. } => {
+                    (Track::Node(0), at_us, EventKind::CheckpointTake { pages })
+                }
+                RecoveryEvent::Rollback { node, pages, at_us, .. } => (
+                    Track::Node(node as u32),
+                    at_us,
+                    EventKind::Rollback {
+                        node: node as u32,
+                        pages,
+                    },
+                ),
+                RecoveryEvent::TokenRegen { count, at_us } => {
+                    (Track::Node(0), at_us, EventKind::TokenRegen { count })
+                }
+            };
+            b.emit(Event {
+                track,
+                at,
+                dur: 0,
+                kind,
+            });
+        }
+        Arc::new(b)
+    });
+
+    let results: Vec<f64> = report
+        .tenants
+        .iter()
+        .map(|t| (t.checksum >> 11) as f64)
+        .collect();
+    let run = RunReport {
+        procs: spec.nodes,
+        clock_hz: 1_000_000,
+        engine: tmk_machines::engine_kind(),
+        host_ms,
+        cycles: report.makespan_us,
+        proc_cycles: vec![report.makespan_us; spec.nodes],
+        // Only the timing-independent counters go in the record: severed /
+        // regenerated-token / restored-page counts depend on what happened
+        // to be in flight at crash time, and service records must be
+        // byte-identical run to run.
+        recovery: tmk_machines::RecoveryStats {
+            checkpoints: report.checkpoints,
+            suspected: report.suspected,
+            rollbacks: report.rollbacks,
+            ..Default::default()
+        },
+        service: Some(report),
+        ..Default::default()
+    };
+    (
+        Outcome {
+            results,
+            report: run,
+            op_trace: Vec::new(),
+        },
+        buf,
+    )
 }
 
 /// One simulation to run: a workload on a platform.
@@ -2437,6 +2631,292 @@ fn scaling256(tier: Tier) -> Experiment {
 }
 
 /// Every experiment of the case study at the given tier, in print order.
+fn service(tier: Tier) -> Experiment {
+    let quick = tier == Tier::Quick;
+    let nodes: usize = if quick { 2 } else { 4 };
+    let tenant_counts: Vec<usize> = if quick { vec![2, 3] } else { vec![2, 4, 8] };
+    let (keys, windows, offered): (usize, u64, u64) =
+        if quick { (16, 3, 6) } else { (64, 8, 16) };
+    let seed: u64 = 0x5e71_ce00;
+
+    let base = move |tenants: usize| ServiceSpec {
+        nodes,
+        tenants,
+        solo: None,
+        keys,
+        windows,
+        offered,
+        queue_cap: 256,
+        batch_cap: 1024,
+        seed,
+        drop_pm: 0,
+        delay_pm: 0,
+        crash: false,
+    };
+    let sreq = |spec: ServiceSpec| req(Platform::as_sim(spec.nodes), WorkloadSpec::Service(spec));
+    // label, drop per-mille, delay per-mille, crash scheduled, expected
+    // rollbacks.
+    let fault_variants: Vec<(&'static str, u64, u64, bool, u64)> = vec![
+        ("drop 5%", 50, 0, false, 0),
+        ("drop+delay", 50, 50, false, 0),
+        ("crash", 0, 0, true, 1),
+        ("drop+delay+crash", 50, 50, true, 1),
+    ];
+
+    let mut sections = Vec::new();
+
+    // --- tenants: multi-tenant runs vs fault-free solo baselines ----------
+    {
+        let tenant_counts = tenant_counts.clone();
+        let mut requests = Vec::new();
+        for &tc in &tenant_counts {
+            requests.push(sreq(base(tc)));
+            for t in 0..tc {
+                requests.push(sreq(ServiceSpec {
+                    solo: Some(t),
+                    ..base(tc)
+                }));
+            }
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "Multi-tenant service on the real-thread runtime ({nodes} nodes, \
+                 Zipf 0.9 clients, {offered} req/tenant/window over {windows} \
+                 windows):"
+            )
+            .unwrap();
+            for &tc in &tenant_counts {
+                let multi = ctx.data(&sreq(base(tc)))?;
+                let svc = multi
+                    .report
+                    .service
+                    .as_ref()
+                    .ok_or("service run carried no service block")?;
+                if svc.total_shed != 0 {
+                    return Err(format!(
+                        "{tc} tenants: baseline offered load shed {} requests; \
+                         the admission gate must absorb it",
+                        svc.total_shed
+                    ));
+                }
+                writeln!(
+                    out,
+                    "  {tc} tenants: epochs={} makespan={}us lock-counter={} shed=0",
+                    svc.epochs, svc.makespan_us, svc.lock_counter,
+                )
+                .unwrap();
+                for (t, rep) in svc.tenants.iter().enumerate() {
+                    let solo = ctx.data(&sreq(ServiceSpec {
+                        solo: Some(t),
+                        ..base(tc)
+                    }))?;
+                    let ssvc = solo
+                        .report
+                        .service
+                        .as_ref()
+                        .ok_or("solo run carried no service block")?;
+                    let srep = &ssvc.tenants[0];
+                    if srep.checksum != rep.checksum {
+                        return Err(format!(
+                            "{tc} tenants: tenant {t} memory diverged from its \
+                             fault-free solo baseline ({:#018x} vs {:#018x})",
+                            rep.checksum, srep.checksum
+                        ));
+                    }
+                    if srep.offered != rep.offered || srep.completed != rep.completed {
+                        return Err(format!(
+                            "{tc} tenants: tenant {t} schedule diverged from solo \
+                             (completed {} vs {})",
+                            rep.completed, srep.completed
+                        ));
+                    }
+                    writeln!(
+                        out,
+                        "    tenant {t}: offered={:<4} completed={:<4} shed={:<3} \
+                         {:>6} req/s  p50={}us p99={}us  checksum ok",
+                        rep.offered,
+                        rep.completed,
+                        rep.shed,
+                        rep.throughput_rps,
+                        rep.p50_us,
+                        rep.p99_us,
+                    )
+                    .unwrap();
+                }
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("tenants", requests, render));
+    }
+
+    // --- faults: drop/delay/crash sweep must not change any tenant --------
+    {
+        let tenant_counts = tenant_counts.clone();
+        let fault_variants = fault_variants.clone();
+        let mut requests = Vec::new();
+        for &tc in &tenant_counts {
+            requests.push(sreq(base(tc)));
+            for &(_, drop_pm, delay_pm, crash, _) in &fault_variants {
+                requests.push(sreq(ServiceSpec {
+                    drop_pm,
+                    delay_pm,
+                    crash,
+                    ..base(tc)
+                }));
+            }
+        }
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "Fault sweep: seeded link faults and a scheduled node crash \
+                 against the live service.\nEvery tenant's results must stay \
+                 byte-identical to the fault-free run:"
+            )
+            .unwrap();
+            for &tc in &tenant_counts {
+                let clean = ctx.data(&sreq(base(tc)))?;
+                let csvc = clean
+                    .report
+                    .service
+                    .as_ref()
+                    .ok_or("service run carried no service block")?;
+                writeln!(out, "  {tc} tenants:").unwrap();
+                for &(label, drop_pm, delay_pm, crash, rollbacks) in &fault_variants {
+                    let spec = ServiceSpec {
+                        drop_pm,
+                        delay_pm,
+                        crash,
+                        ..base(tc)
+                    };
+                    let d = ctx.data(&sreq(spec))?;
+                    let svc = d
+                        .report
+                        .service
+                        .as_ref()
+                        .ok_or("service run carried no service block")?;
+                    if d.checksums != clean.checksums || svc.tenants != csvc.tenants {
+                        return Err(format!(
+                            "{tc} tenants, {label}: per-tenant results diverged \
+                             from the fault-free run"
+                        ));
+                    }
+                    if svc.rollbacks != rollbacks || svc.crashes != rollbacks {
+                        return Err(format!(
+                            "{tc} tenants, {label}: expected {rollbacks} \
+                             crash/rollback(s), saw crashes={} rollbacks={}",
+                            svc.crashes, svc.rollbacks
+                        ));
+                    }
+                    if svc.total_shed != 0 {
+                        return Err(format!(
+                            "{tc} tenants, {label}: faults caused {} sheds at \
+                             baseline offered load",
+                            svc.total_shed
+                        ));
+                    }
+                    writeln!(
+                        out,
+                        "    {label:<16}: crashes={} rollbacks={} checkpoints={} \
+                         shed={}  all tenants byte-identical",
+                        svc.crashes, svc.rollbacks, svc.checkpoints, svc.total_shed,
+                    )
+                    .unwrap();
+                }
+            }
+            Ok(out)
+        });
+        sections.push(Section::new("faults", requests, render));
+    }
+
+    // --- overload: bounded queues shed loudly and deterministically -------
+    {
+        let tc = tenant_counts[0];
+        let overload = move |drop_pm: u64, crash: bool| ServiceSpec {
+            offered: 40,
+            queue_cap: 4,
+            batch_cap: 3,
+            drop_pm,
+            crash,
+            ..base(tc)
+        };
+        let requests = vec![sreq(overload(0, false)), sreq(overload(50, true))];
+        let render: Render = Box::new(move |ctx| {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "Overload: 40 req/tenant/window into queue_cap=4, batch_cap=3. \
+                 Load shedding must be loud (counted per tenant) and \
+                 fault-invariant:"
+            )
+            .unwrap();
+            let clean = ctx.data(&sreq(overload(0, false)))?;
+            let csvc = clean
+                .report
+                .service
+                .as_ref()
+                .ok_or("service run carried no service block")?;
+            if csvc.total_shed == 0 {
+                return Err("overload shed nothing; the gate is unbounded".to_string());
+            }
+            let faulty = ctx.data(&sreq(overload(50, true)))?;
+            let fsvc = faulty
+                .report
+                .service
+                .as_ref()
+                .ok_or("service run carried no service block")?;
+            if fsvc.tenants != csvc.tenants || faulty.checksums != clean.checksums {
+                return Err(
+                    "drop+crash under overload changed the shed schedule or results"
+                        .to_string(),
+                );
+            }
+            let completed: u64 = csvc.tenants.iter().map(|t| t.completed).sum();
+            if csvc.lock_counter != completed {
+                return Err(format!(
+                    "lock counter {} disagrees with completed admissions {completed}",
+                    csvc.lock_counter
+                ));
+            }
+            for rep in &csvc.tenants {
+                writeln!(
+                    out,
+                    "  tenant {}: offered={:<4} completed={:<4} shed={:<4} \
+                     p99={}us",
+                    rep.tenant, rep.offered, rep.completed, rep.shed, rep.p99_us,
+                )
+                .unwrap();
+            }
+            writeln!(
+                out,
+                "  total shed={} (identical with drop 5% + node crash: \
+                 rollbacks={})",
+                csvc.total_shed, fsvc.rollbacks,
+            )
+            .unwrap();
+            Ok(out)
+        });
+        sections.push(Section::new("overload", requests, render));
+    }
+
+    Experiment {
+        id: "service",
+        title: "multi-tenant DSM service: tenant isolation, fault survival, graceful overload",
+        default: true,
+        header: Some(
+            "Long-lived DSM cluster serving N tenants behind a bounded \
+             admission gate, on the real-thread runtime with crash recovery \
+             armed.\nSeeded drops, delays and node crashes must leave every \
+             tenant's memory and schedule byte-identical to the fault-free \
+             run; overload must shed loudly, never silently."
+                .to_string(),
+        ),
+        sections,
+    }
+}
+
 pub fn registry(tier: Tier) -> Vec<Experiment> {
     vec![
         table1(tier),
@@ -2451,6 +2931,7 @@ pub fn registry(tier: Tier) -> Vec<Experiment> {
         breakdown(tier),
         scaling(tier),
         scaling256(tier),
+        service(tier),
         calibrate(tier),
     ]
 }
@@ -2982,7 +3463,7 @@ impl EngineBench {
             writeln!(
                 out,
                 "Excluded: {} (256-node runs are impractical on the threaded \
-                 engine).",
+                 engine; the service runs on real OS threads).",
                 self.excluded.join(", ")
             )
             .unwrap();
@@ -3038,8 +3519,9 @@ impl EngineBench {
 /// host time and simulated results per run.
 pub fn run_engine_bench(tier: Tier, jobs: usize) -> EngineBench {
     // scaling256 exists *because* 256-node runs are impractical on the
-    // threaded engine; everything else runs on both.
-    let excluded = vec!["scaling256"];
+    // threaded engine; service runs on real OS threads, so an engine
+    // comparison would measure nothing. Everything else runs on both.
+    let excluded = vec!["scaling256", "service"];
     let mut experiments = registry(tier);
     experiments.retain(|e| e.default && !excluded.contains(&e.id));
     let requests: Vec<JobRequest> = experiments

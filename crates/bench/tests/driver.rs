@@ -141,6 +141,34 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
+fn service_experiment_recovers_and_sheds_loudly() {
+    let suite = run_suite(&Options {
+        tier: Tier::Quick,
+        jobs: 2,
+        experiments: vec!["service".into()],
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(suite.ok(), "failed: {:?}", suite.failed_sections());
+    let text = &suite.experiments[0].text;
+    // A scheduled crash really rolled the live cluster back...
+    assert!(text.contains("rollbacks=1"), "no rollback reported:\n{text}");
+    // ...baseline offered load was never shed...
+    assert!(text.contains("shed=0"), "baseline shed is missing:\n{text}");
+    // ...and overload shedding is loud, not silent.
+    assert!(text.contains("total shed="), "overload shed not reported:\n{text}");
+
+    // Service runs carry their per-tenant block in the JSON records.
+    let j = Json::parse(&suite.bench_json().render_pretty(2)).unwrap();
+    let runs = j.get("runs").and_then(Json::as_arr).unwrap();
+    let with_service = runs
+        .iter()
+        .filter(|r| r.get("report").and_then(|rep| rep.get("service")).is_some())
+        .count();
+    assert_eq!(with_service, runs.len(), "every service run reports tenants");
+}
+
+#[test]
 fn engine_bench_quick_has_parity_on_every_run() {
     let bench = tmk_bench::driver::run_engine_bench(Tier::Quick, 2);
     assert!(!bench.rows.is_empty());
@@ -152,6 +180,10 @@ fn engine_bench_quick_has_parity_on_every_run() {
     assert!(
         bench.excluded.contains(&"scaling256"),
         "the 256-node experiment must not run on the threaded engine"
+    );
+    assert!(
+        bench.excluded.contains(&"service"),
+        "the real-thread service must not enter the engine comparison"
     );
     let j = Json::parse(&bench.to_json().render_pretty(2)).unwrap();
     assert_eq!(

@@ -69,6 +69,8 @@ mod node;
 mod page;
 pub mod reliable;
 pub mod runtime;
+mod runtime_faults;
+pub mod service;
 mod stats;
 mod vt;
 

@@ -340,6 +340,19 @@ impl Reliability {
         reset
     }
 
+    /// Drops every in-flight packet without acking it, returning how many
+    /// were abandoned. Crash recovery uses this when the whole cluster
+    /// rolls back to a checkpoint: the pre-rollback packets will never be
+    /// acked (their state is gone on both ends), and replay re-registers
+    /// everything it sends. Receiver windows are *not* reset — sequence
+    /// numbers keep climbing, so a late duplicate of an abandoned packet
+    /// is still suppressed.
+    pub fn abandon_in_flight(&mut self) -> usize {
+        let n = self.in_flight.len();
+        self.in_flight.clear();
+        n
+    }
+
     /// Number of packets awaiting acks.
     pub fn in_flight_len(&self) -> usize {
         self.in_flight.len()
@@ -575,6 +588,23 @@ mod tests {
         assert_eq!(rel.bump_retry(to_dead), 1, "count restarted");
         assert_eq!(rel.bump_retry(from_dead), 1, "count restarted");
         assert_eq!(rel.bump_retry(unrelated), 4, "untouched link kept its count");
+    }
+
+    #[test]
+    fn abandon_clears_flights_but_keeps_receiver_windows() {
+        let mut rel = Reliability::new();
+        let a = rel.register(&env(0, 1));
+        let b = rel.register(&env(1, 2));
+        assert!(rel.accept(a));
+        assert_eq!(rel.abandon_in_flight(), 2);
+        assert_eq!(rel.in_flight_len(), 0);
+        assert!(!rel.is_in_flight(b));
+        // No acks were granted for the abandoned packets...
+        assert_eq!(rel.stats().acks, 0);
+        // ...and the receive window survives: a late dup is still caught.
+        assert!(!rel.accept(a), "post-abandon replay must be suppressed");
+        // Fresh registration continues the per-link sequence.
+        assert_eq!(rel.register(&env(0, 1)), (0, 1, 2));
     }
 
     #[test]

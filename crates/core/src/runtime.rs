@@ -8,6 +8,25 @@
 //! distributed shared memory: page copies, twins, diffs and write notices
 //! are all real.
 //!
+//! # Hardening
+//!
+//! The runtime survives an imperfect channel, like the paper's system had
+//! to over UDP:
+//!
+//! * [`ChannelFaults`] injects a seeded plan of per-link drops, duplicates
+//!   and delays at the transmit hook, plus scheduled node crashes.
+//! * A retransmission ticker re-sends unacked packets on a host-time
+//!   [`RetransmitPolicy`] (timeouts in microseconds here) with exponential
+//!   backoff; exhaustion against a dead peer is the failure detector.
+//! * [`Dsm::run_epochs`] structures the application into *epochs* separated
+//!   by barrier-consistent checkpoints. A recoverable crash rolls every
+//!   node back to the last checkpoint (re-minting lock tokens exactly like
+//!   the sans-io [`Cluster::crash_recover`](crate::Cluster::crash_recover))
+//!   and replays; replay from the consistent cut is deterministic, so
+//!   results are byte-identical to a crash-free run. `poison` teardown
+//!   remains only for unrecoverable states (application panics, crashes
+//!   with no checkpoint armed).
+//!
 //! ```
 //! use tmk_core::runtime::{Dsm, DsmConfig};
 //!
@@ -31,24 +50,32 @@
 //! assert_eq!(sums.iter().sum::<u64>(), (0..32).sum());
 //! ```
 
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::cluster::Traffic;
-use crate::reliable::{PacketId, RelStats, Reliability};
+use crate::reliable::{PacketId, RelStats, Reliability, RetransmitPolicy};
+use crate::runtime_faults::{roll_fate, LinkFate};
 use crate::{
-    Action, BarrierId, Config, Envelope, LockId, Node, NodeId, NodeStats, SharedAddr,
-    StartAcquire,
+    Action, BarrierId, Config, Envelope, LockId, Node, NodeCheckpoint, NodeId, NodeStats,
+    SharedAddr, StartAcquire,
 };
 
+pub use crate::runtime_faults::{
+    ChannelFaults, CrashPoint, FaultSummary, LinkFaults, RecoveryEvent, RunRecovery,
+};
 pub use crate::Config as DsmConfig;
 
 enum Wire {
-    Env(Envelope, Option<PacketId>),
+    /// An envelope, its reliability id (None = loopback), and the cluster
+    /// generation it was stamped with at send time.
+    Env(Envelope, Option<PacketId>, u64),
     Stop,
 }
 
@@ -62,14 +89,68 @@ struct NodeInner {
     completions: Vec<Action>,
 }
 
-/// Deterministic channel-level fault injection for the real-thread
-/// runtime: crossbeam channels never lose messages, so faults are
-/// introduced at the transmit hook to exercise the reliability layer's
-/// duplicate suppression on real threads.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ChannelFaults {
-    /// Transmit every Nth cross-node message twice (0 = never).
-    pub duplicate_every: u64,
+/// Sender-side retransmission state of one unacked packet.
+struct RtFlight {
+    env: Envelope,
+    gen: u64,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// Reliability bookkeeping behind one lock: the sans-io layer plus the
+/// runtime's host-time flight table (kept in lockstep so an ack always
+/// cancels the matching retransmit timer).
+struct RelState {
+    rel: Reliability,
+    flights: HashMap<PacketId, RtFlight>,
+}
+
+/// A delayed copy held by the fault plan until `due`.
+struct Delayed {
+    env: Envelope,
+    pid: PacketId,
+    gen: u64,
+    due: Instant,
+}
+
+/// How one epoch driver arrives at the inter-epoch fence.
+enum Arrival {
+    /// Epoch body + epoch barrier completed; more epochs wanted.
+    Completed,
+    /// Epoch body returned [`EpochStep::Done`].
+    Done,
+    /// This node's scheduled crash fired.
+    Crashed(NodeId),
+    /// Unwound by a rollback raised elsewhere.
+    Rolled,
+}
+
+/// The fence leader's decision for the next round.
+#[derive(Debug, Clone, Copy)]
+enum Verdict {
+    /// Checkpoint taken; run this epoch next.
+    Proceed(u64),
+    /// Cluster rolled back; replay from this epoch.
+    Replay(u64),
+    /// Every node finished: return results.
+    Finish,
+    /// The cluster is poisoned; unwind.
+    Abort,
+}
+
+struct FenceState {
+    arrived: usize,
+    done: usize,
+    crashed: Vec<NodeId>,
+    round: u64,
+    /// The epoch the current round just finished (or is replaying).
+    epoch: u64,
+    verdict: Option<(u64, Verdict)>,
+}
+
+struct Fence {
+    state: Mutex<FenceState>,
+    cv: Condvar,
 }
 
 struct Shared {
@@ -77,47 +158,423 @@ struct Shared {
     senders: Vec<Sender<Wire>>,
     traffic: Mutex<Traffic>,
     header_bytes: usize,
-    /// Sequence numbers + duplicate suppression on the channel path.
-    rel: Mutex<Reliability>,
+    /// Sequence numbers, duplicate suppression and retransmit flights on
+    /// the channel path.
+    rel: Mutex<RelState>,
     faults: ChannelFaults,
+    policy: RetransmitPolicy,
     sent: AtomicU64,
     /// First fatal error: any node/service-thread panic poisons the whole
     /// cluster so blocked peers abort instead of waiting forever.
     poison: Mutex<Option<String>>,
+    // --- crash recovery ---
+    /// Whether epoch checkpointing (and thus crash recovery) is armed.
+    armed: bool,
+    grace: Duration,
+    t0: Instant,
+    /// Cluster generation: bumped on rollback so messages stamped before a
+    /// restore can never be delivered into restored state.
+    gen: AtomicU64,
+    /// A rollback has been raised; application threads unwind at their
+    /// next DSM operation or blocked wait.
+    rollback: AtomicBool,
+    stop_ticker: AtomicBool,
+    down: Vec<AtomicBool>,
+    suspected: Vec<AtomicBool>,
+    /// One flag per scheduled crash point: fire exactly once.
+    crash_fired: Vec<AtomicBool>,
+    /// Per-node DSM-operation counters within the current epoch.
+    ops: Vec<AtomicU64>,
+    /// Per-node current epoch (for crash-point matching).
+    epochs_now: Vec<AtomicU64>,
+    links: Mutex<BTreeMap<(NodeId, NodeId), LinkFaults>>,
+    delayed: Mutex<Vec<Delayed>>,
+    recovery: Mutex<RunRecovery>,
+    severed: AtomicU64,
+    ckpt: Mutex<Option<(u64, Vec<NodeCheckpoint>)>>,
+    fence: Fence,
 }
 
 impl Shared {
+    fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    fn is_down(&self, node: NodeId) -> bool {
+        self.down[node].load(Ordering::Acquire)
+    }
+
+    /// Transmits application-thread sends, stamped with the current
+    /// generation.
     fn transmit(&self, sends: Vec<Envelope>) {
+        let gen = self.gen.load(Ordering::Acquire);
+        self.transmit_as(gen, sends);
+    }
+
+    /// Transmits `sends` stamped with generation `gen` (service threads
+    /// pass the generation of the message whose handling produced them, so
+    /// work derived from stale state stays stale).
+    fn transmit_as(&self, gen: u64, sends: Vec<Envelope>) {
         for env in sends {
             if env.from == env.to {
                 // Loopback skips the wire: no traffic, no reliability.
-                let _ = self.senders[env.to].send(Wire::Env(env, None));
+                let _ = self.senders[env.to].send(Wire::Env(env, None, gen));
+                continue;
+            }
+            if self.is_down(env.from) || self.is_down(env.to) {
+                // The wire to/from a crashed node eats the message.
+                self.severed.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             self.traffic.lock().record(&env, self.header_bytes);
-            let pid = self.rel.lock().register(&env);
+            let pid = {
+                let mut st = self.rel.lock();
+                let pid = st.rel.register(&env);
+                st.flights.insert(
+                    pid,
+                    RtFlight {
+                        env: env.clone(),
+                        gen,
+                        attempt: 0,
+                        deadline: Instant::now()
+                            + Duration::from_micros(self.policy.timeout_for(0)),
+                    },
+                );
+                pid
+            };
             let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
             if self.faults.duplicate_every > 0 && n % self.faults.duplicate_every == 0 {
-                let _ = self.senders[env.to].send(Wire::Env(env.clone(), Some(pid)));
+                let _ = self.senders[env.to].send(Wire::Env(env.clone(), Some(pid), gen));
             }
-            // A send can only fail during shutdown, when nobody is waiting.
-            let _ = self.senders[env.to].send(Wire::Env(env, Some(pid)));
+            self.launch(env, pid, gen, 0);
         }
     }
 
-    /// Records the first fatal error and wakes every blocked waiter.
-    fn poison(&self, msg: String) {
-        self.poison.lock().get_or_insert(msg);
+    /// Puts one copy of a registered packet on the wire, applying the
+    /// seeded fault plan. A dropped copy leaves the flight armed for the
+    /// retransmission ticker to repair.
+    fn launch(&self, env: Envelope, pid: PacketId, gen: u64, attempt: u32) {
+        let fate = roll_fate(&self.faults, pid, attempt);
+        {
+            let mut links = self.links.lock();
+            let ls = links.entry((env.from, env.to)).or_default();
+            match fate {
+                LinkFate::Deliver | LinkFate::Duplicate => ls.delivered += 1,
+                LinkFate::Drop => ls.drops += 1,
+                LinkFate::Delay => ls.delays += 1,
+            }
+            if fate == LinkFate::Duplicate {
+                ls.dups += 1;
+            }
+        }
+        match fate {
+            LinkFate::Deliver => {
+                let _ = self.senders[env.to].send(Wire::Env(env, Some(pid), gen));
+            }
+            LinkFate::Duplicate => {
+                let _ = self.senders[env.to].send(Wire::Env(env.clone(), Some(pid), gen));
+                let _ = self.senders[env.to].send(Wire::Env(env, Some(pid), gen));
+            }
+            LinkFate::Drop => {}
+            LinkFate::Delay => {
+                self.delayed.lock().push(Delayed {
+                    env,
+                    pid,
+                    gen,
+                    due: Instant::now() + Duration::from_micros(self.faults.delay_us),
+                });
+            }
+        }
+    }
+
+    /// Records the first fatal error and wakes every blocked waiter
+    /// (including fence waiters). Returns whether this call won the race
+    /// to be the primary cause — losers must re-panic with the `TEARDOWN`
+    /// prefix so exactly one primary panic surfaces.
+    fn poison(&self, msg: String) -> bool {
+        let won = {
+            let mut p = self.poison.lock();
+            if p.is_none() {
+                *p = Some(msg);
+                true
+            } else {
+                false
+            }
+        };
         for cell in &self.cells {
             // Taking the cell lock serializes with waiters between their
             // poison check and their condvar wait, so no wakeup is lost.
             let _guard = cell.inner.lock();
             cell.cv.notify_all();
         }
+        {
+            let _guard = self.fence.state.lock();
+            self.fence.cv.notify_all();
+        }
+        won
     }
 
     fn poison_text(&self) -> Option<String> {
         self.poison.lock().clone()
+    }
+
+    /// Marks `node` dead: its driver unwinds and the wire starts severing
+    /// its traffic.
+    fn note_crash(&self, node: NodeId, epoch: u64) {
+        self.down[node].store(true, Ordering::SeqCst);
+        let mut rec = self.recovery.lock();
+        rec.crashes += 1;
+        rec.events.push(RecoveryEvent::NodeCrash {
+            node,
+            epoch,
+            at_us: self.now_us(),
+        });
+    }
+
+    /// Gives `node` up for dead (once per incident) and raises a rollback.
+    fn suspect(&self, node: NodeId) {
+        if !self.armed || self.suspected[node].swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut rec = self.recovery.lock();
+            rec.suspected += 1;
+            rec.events.push(RecoveryEvent::NodeSuspected {
+                node,
+                at_us: self.now_us(),
+            });
+        }
+        self.raise_rollback();
+    }
+
+    /// Raises a cluster-wide rollback: stamps a new generation and wakes
+    /// every blocked application thread so it unwinds to the fence.
+    fn raise_rollback(&self) {
+        if self.rollback.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        for cell in &self.cells {
+            let _guard = cell.inner.lock();
+            cell.cv.notify_all();
+        }
+    }
+
+    /// Takes a barrier-consistent checkpoint of every node (the caller —
+    /// the fence leader — guarantees all application threads are parked,
+    /// so each node is quiescent at the completed epoch barrier).
+    fn take_checkpoint(&self, epoch: u64) {
+        let mut snaps = Vec::with_capacity(self.cells.len());
+        let mut pages = 0u64;
+        for cell in &self.cells {
+            let inner = cell.inner.lock();
+            let ck = inner.node.checkpoint();
+            pages += ck.pages_resident();
+            snaps.push(ck);
+        }
+        *self.ckpt.lock() = Some((epoch, snaps));
+        let mut rec = self.recovery.lock();
+        rec.checkpoints += 1;
+        rec.events.push(RecoveryEvent::CheckpointTake {
+            epoch,
+            pages,
+            at_us: self.now_us(),
+        });
+    }
+
+    /// Rolls every node back to the last checkpoint (the runtime analogue
+    /// of [`Cluster::crash_recover`](crate::Cluster::crash_recover)):
+    /// counts the lock tokens the rollback forgets, restores all nodes,
+    /// clears reliability state, and revives the crashed nodes. Returns the
+    /// epoch to replay from.
+    fn recover(&self, st: &mut FenceState) -> u64 {
+        if !self.rollback.swap(true, Ordering::SeqCst) {
+            self.gen.fetch_add(1, Ordering::SeqCst);
+        }
+        // Seal the recovery generation *before* touching node state: a
+        // message stamped during the outage window (one of the two bumped
+        // generations) can never match the post-restore generation, so
+        // stale protocol traffic cannot corrupt restored state.
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        let crashed = std::mem::take(&mut st.crashed);
+        let ckpt = self.ckpt.lock();
+        let (ck_epoch, snaps) = ckpt.as_ref().expect("recovery requires an armed checkpoint");
+        // Tokens whose position the rollback forgets: any token away from
+        // its manager (including everything a crashed node held) must be
+        // re-minted; a token already at its manager re-bootstraps as-is.
+        let mut regen = 0u64;
+        for (id, cell) in self.cells.iter().enumerate() {
+            let mut inner = cell.inner.lock();
+            for lock in inner.node.token_holdings() {
+                if inner.node.config().lock_manager(lock) != id || crashed.contains(&id) {
+                    regen += 1;
+                }
+            }
+            inner.node.restore(&snaps[id]);
+            inner.completions.clear();
+        }
+        let mut pages = 0u64;
+        for &c in &crashed {
+            pages += snaps[c].pages_resident();
+        }
+        {
+            // Under the rel lock so the ticker cannot suspect a stale
+            // flight of an already-revived node.
+            let mut rl = self.rel.lock();
+            rl.flights.clear();
+            rl.rel.abandon_in_flight();
+            for &c in &crashed {
+                self.down[c].store(false, Ordering::SeqCst);
+            }
+            for s in &self.suspected {
+                s.store(false, Ordering::SeqCst);
+            }
+        }
+        self.delayed.lock().clear();
+        {
+            let mut rec = self.recovery.lock();
+            rec.rollbacks += 1;
+            rec.tokens_regenerated += regen;
+            rec.pages_restored += pages;
+            let at_us = self.now_us();
+            for &c in &crashed {
+                rec.events.push(RecoveryEvent::Rollback {
+                    node: c,
+                    to_epoch: *ck_epoch,
+                    pages: snaps[c].pages_resident(),
+                    at_us,
+                });
+            }
+            rec.events.push(RecoveryEvent::TokenRegen {
+                count: regen,
+                at_us,
+            });
+        }
+        self.rollback.store(false, Ordering::SeqCst);
+        st.epoch = *ck_epoch;
+        *ck_epoch
+    }
+
+    /// The inter-epoch rendezvous of all epoch drivers. The last arriver
+    /// leads: it recovers (if anything crashed or rolled), finishes (if
+    /// every body is done), or checkpoints and proceeds.
+    fn fence(&self, arrival: Arrival) -> Verdict {
+        let n = self.cells.len();
+        let mut st = self.fence.state.lock();
+        let round = st.round;
+        match arrival {
+            Arrival::Completed | Arrival::Rolled => {}
+            Arrival::Done => st.done += 1,
+            Arrival::Crashed(id) => st.crashed.push(id),
+        }
+        let rolled_back = matches!(arrival, Arrival::Rolled);
+        st.arrived += 1;
+        if st.arrived < n {
+            while st.verdict.is_none_or(|(r, _)| r != round) {
+                if let Some(cause) = self.poison_text() {
+                    panic!("{TEARDOWN}{cause}");
+                }
+                self.fence.cv.wait(&mut st);
+            }
+            return st.verdict.expect("verdict set").1;
+        }
+        let verdict = if !st.crashed.is_empty() || rolled_back || self.rollback.load(Ordering::Acquire)
+        {
+            Verdict::Replay(self.recover(&mut st))
+        } else if st.done == n {
+            Verdict::Finish
+        } else if st.done > 0 {
+            self.poison(format!(
+                "epoch bodies disagree: {} of {n} nodes finished at epoch {}",
+                st.done, st.epoch
+            ));
+            Verdict::Abort
+        } else {
+            self.take_checkpoint(st.epoch + 1);
+            st.epoch += 1;
+            Verdict::Proceed(st.epoch)
+        };
+        st.arrived = 0;
+        st.done = 0;
+        st.crashed.clear();
+        st.round += 1;
+        st.verdict = Some((round, verdict));
+        self.fence.cv.notify_all();
+        verdict
+    }
+
+    /// The retransmission / delay ticker: releases matured delayed copies
+    /// and re-sends overdue unacked packets with exponential backoff;
+    /// exhaustion against a down peer is the failure detector.
+    fn ticker(&self) {
+        let tick = Duration::from_micros((self.policy.timeout / 4).clamp(100, 1_000));
+        loop {
+            if self.stop_ticker.load(Ordering::Acquire) {
+                return;
+            }
+            let now = Instant::now();
+            let due: Vec<Delayed> = {
+                let mut dl = self.delayed.lock();
+                let (ripe, hold): (Vec<Delayed>, Vec<Delayed>) =
+                    dl.drain(..).partition(|d| d.due <= now);
+                *dl = hold;
+                ripe
+            };
+            for d in due {
+                let _ = self.senders[d.env.to].send(Wire::Env(d.env, Some(d.pid), d.gen));
+            }
+            let mut resend: Vec<(Envelope, PacketId, u64, u32)> = Vec::new();
+            let mut dead: Vec<NodeId> = Vec::new();
+            {
+                let mut st = self.rel.lock();
+                let RelState { rel, flights } = &mut *st;
+                for (pid, fl) in flights.iter_mut() {
+                    if fl.deadline > now {
+                        continue;
+                    }
+                    let down_peer = self.is_down(pid.0) || self.is_down(pid.1);
+                    if fl.attempt >= self.policy.max_retries {
+                        if down_peer {
+                            // Exhausted against a dead peer: suspect it and
+                            // park the flight until recovery clears it.
+                            dead.push(if self.is_down(pid.1) { pid.1 } else { pid.0 });
+                            fl.deadline = now + Duration::from_secs(3600);
+                        } else {
+                            // A live peer this slow means the host is
+                            // overloaded, not dead — in-process channels
+                            // lose nothing, so keep nudging at the ceiling.
+                            fl.deadline = now
+                                + Duration::from_micros(
+                                    self.policy.timeout_for(self.policy.max_retries),
+                                );
+                        }
+                        continue;
+                    }
+                    fl.attempt += 1;
+                    rel.bump_retry(*pid);
+                    fl.deadline =
+                        now + Duration::from_micros(self.policy.timeout_for(fl.attempt));
+                    resend.push((fl.env.clone(), *pid, fl.gen, fl.attempt));
+                }
+                // Suspicion is raised under the rel lock: recovery clears
+                // flights and down flags atomically with respect to this
+                // scan, so a stale flight can never re-suspect a revived
+                // node.
+                dead.sort_unstable();
+                dead.dedup();
+                for d in dead {
+                    self.suspect(d);
+                }
+            }
+            for (env, pid, gen, attempt) in resend {
+                if self.is_down(env.from) || self.is_down(env.to) {
+                    self.severed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                self.launch(env, pid, gen, attempt);
+            }
+            std::thread::sleep(tick);
+        }
     }
 }
 
@@ -135,6 +592,14 @@ fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
 /// Prefix of the secondary panics raised by peers woken from a poisoned
 /// cluster (used to keep the original panic as the surfaced one).
 const TEARDOWN: &str = "DSM cluster torn down: ";
+/// Panic payload of a scheduled crash (caught by the epoch driver).
+const CRASH_MARK: &str = "__dsm_node_crash__";
+/// Panic payload of a rollback unwind (caught by the epoch driver).
+const ROLLBACK_MARK: &str = "__dsm_rollback__";
+
+/// First of the 8 barrier ids reserved for the epoch fence of
+/// [`Dsm::run_epochs`]; application code must not use ids at or above this.
+pub const EPOCH_BARRIER_BASE: BarrierId = usize::MAX - 8;
 
 /// Pre-parallel master handle: allocates and initializes shared memory
 /// before the node bodies start (the PARMACS "master initializes, then
@@ -195,6 +660,37 @@ impl DsmNode {
         &self.shared.cells[self.id]
     }
 
+    /// Per-operation hook: unwinds to the fence when a rollback is raised,
+    /// and fires this node's scheduled crash point when its operation count
+    /// comes up.
+    fn op_tick(&self) {
+        let sh = &*self.shared;
+        if sh.armed && sh.rollback.load(Ordering::Acquire) {
+            panic!("{ROLLBACK_MARK}");
+        }
+        if sh.faults.crashes.is_empty() {
+            return;
+        }
+        let epoch = sh.epochs_now[self.id].load(Ordering::Relaxed);
+        let op = sh.ops[self.id].fetch_add(1, Ordering::Relaxed) + 1;
+        for (i, cp) in sh.faults.crashes.iter().enumerate() {
+            if cp.node == self.id
+                && cp.epoch == epoch
+                && cp.op == op
+                && !sh.crash_fired[i].swap(true, Ordering::SeqCst)
+            {
+                sh.note_crash(self.id, epoch);
+                if sh.armed {
+                    panic!("{CRASH_MARK}");
+                }
+                let msg =
+                    format!("node {} crashed with no checkpoint armed: unrecoverable", self.id);
+                sh.poison(msg.clone());
+                panic!("{TEARDOWN}{msg}");
+            }
+        }
+    }
+
     fn wait_for(&self, want: Action) {
         let cell = self.cell();
         let mut inner = cell.inner.lock();
@@ -206,12 +702,16 @@ impl DsmNode {
             if let Some(msg) = self.shared.poison_text() {
                 panic!("{TEARDOWN}{msg}");
             }
+            if self.shared.armed && self.shared.rollback.load(Ordering::Acquire) {
+                panic!("{ROLLBACK_MARK}");
+            }
             cell.cv.wait(&mut inner);
         }
     }
 
     /// Acquires a distributed lock (blocking).
     pub fn lock(&self, lock: LockId) {
+        self.op_tick();
         let sends = {
             let mut inner = self.cell().inner.lock();
             match inner.node.acquire(lock) {
@@ -225,12 +725,14 @@ impl DsmNode {
 
     /// Releases a distributed lock.
     pub fn unlock(&self, lock: LockId) {
+        self.op_tick();
         let sends = self.cell().inner.lock().node.release(lock);
         self.shared.transmit(sends);
     }
 
     /// Waits at a barrier until every node arrives.
     pub fn barrier(&self, barrier: BarrierId) {
+        self.op_tick();
         let start = self.cell().inner.lock().node.barrier_arrive(barrier);
         self.shared.transmit(start.sends);
         if !start.ready {
@@ -251,6 +753,7 @@ impl DsmNode {
     /// Validates all pages of `[addr, addr+len)` then runs `f` under the
     /// node mutex, retrying if a concurrent invalidation slips in between.
     fn access(&self, addr: SharedAddr, len: usize, write: bool, f: impl FnOnce(&mut Node)) {
+        self.op_tick();
         let mut f = Some(f);
         loop {
             let (page, sends) = {
@@ -312,6 +815,48 @@ impl DsmNode {
     }
 }
 
+/// What an epoch body tells the driver after each epoch.
+#[derive(Debug)]
+pub enum EpochStep<R> {
+    /// Run another epoch after the checkpoint.
+    Continue,
+    /// This node is finished (every node must finish at the same epoch).
+    Done(R),
+}
+
+/// Knobs of the hardened runtime (see [`Dsm::run_epochs`]).
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Channel fault plan.
+    pub faults: ChannelFaults,
+    /// Retransmission policy. Unlike the cycle-based simulators, the
+    /// runtime interprets `timeout` (and its backoff products) in host
+    /// **microseconds**.
+    pub policy: RetransmitPolicy,
+    /// How long a crashed node waits for a peer to suspect it before
+    /// self-reporting at the fence (covers crashes no retransmission can
+    /// discover because no traffic was in flight).
+    pub grace_ms: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            faults: ChannelFaults::default(),
+            // 5 ms base RTO: comfortably above in-process delivery latency
+            // (so fault-free runs never retransmit) while keeping
+            // fault-injection tests fast.
+            policy: RetransmitPolicy {
+                timeout: 5_000,
+                backoff: 2,
+                max_retries: 8,
+                adaptive: None,
+            },
+            grace_ms: 50,
+        }
+    }
+}
+
 /// Entry points for running DSM programs on real threads.
 #[derive(Debug)]
 pub struct Dsm;
@@ -328,6 +873,10 @@ pub struct RunOutput<R> {
     pub traffic: Traffic,
     /// Reliability-layer counters for the channel path.
     pub reliability: RelStats,
+    /// Crash-recovery counters and event log.
+    pub recovery: RunRecovery,
+    /// What the fault plan did, aggregated and per link.
+    pub faults: FaultSummary,
 }
 
 impl Dsm {
@@ -367,8 +916,11 @@ impl Dsm {
     }
 
     /// Like [`run_full`](Self::run_full) but with deterministic channel
-    /// faults injected at transmit time, exercising the reliability
-    /// layer's duplicate suppression under real concurrency.
+    /// faults injected at transmit time: seeded drops and delays are
+    /// repaired by host-time retransmission, duplicates are suppressed by
+    /// the reliability layer. Scheduled crashes are *unrecoverable* here
+    /// (no checkpoints are armed) — use [`run_epochs`](Self::run_epochs)
+    /// for crash recovery.
     pub fn run_faulty<T, R, I, F>(
         cfg: Config,
         faults: ChannelFaults,
@@ -381,160 +933,392 @@ impl Dsm {
         I: FnOnce(&mut Master<'_>) -> T,
         F: Fn(&DsmNode, &T) -> R + Send + Sync,
     {
-        let n = cfg.nodes;
-        let header_bytes = cfg.header_bytes;
-        let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, cfg.clone())).collect();
-
-        let plan = {
-            let mut master = Master {
-                node0: &mut nodes[0],
-                next: 0,
-            };
-            init(&mut master)
-        };
-
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Wire>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let cells: Vec<Arc<NodeCell>> = nodes
-            .into_iter()
-            .map(|node| {
-                Arc::new(NodeCell {
-                    inner: Mutex::new(NodeInner {
-                        node,
-                        completions: Vec::new(),
-                    }),
-                    cv: Condvar::new(),
-                })
-            })
-            .collect();
-        let shared = Arc::new(Shared {
-            cells,
-            senders,
-            traffic: Mutex::new(Traffic::default()),
-            header_bytes,
-            rel: Mutex::new(Reliability::new()),
+        let opts = RunOpts {
             faults,
-            sent: AtomicU64::new(0),
-            poison: Mutex::new(None),
-        });
+            ..RunOpts::default()
+        };
+        engine(cfg, opts, false, init, move |node, _epoch, plan| {
+            EpochStep::Done(body(node, plan))
+        })
+    }
 
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            // Service threads: deliver protocol messages.
-            for (id, rx) in receivers.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || {
-                    while let Ok(Wire::Env(env, pid)) = rx.recv() {
-                        if let Some(pid) = pid {
-                            let mut rel = shared.rel.lock();
-                            // Delivery confirms receipt (the ack rides the
-                            // reply); duplicates never reach the handler.
-                            rel.acked(pid);
-                            if !rel.accept(pid) {
-                                continue;
-                            }
+    /// Runs an epoch-structured program with crash recovery armed.
+    ///
+    /// `body(node, epoch, plan)` runs one epoch and returns whether to
+    /// continue; after each epoch the cluster synchronizes on a reserved
+    /// barrier (see [`EPOCH_BARRIER_BASE`]) and takes a barrier-consistent
+    /// checkpoint of every node. A crashed node (scheduled via
+    /// [`ChannelFaults::crash`], detected by retransmission exhaustion or
+    /// crash-site self-report after `grace_ms`) rolls the whole cluster
+    /// back to the last checkpoint — lock tokens re-mint at their managers,
+    /// page copies restore from the snapshot — and the epoch replays.
+    /// Replay from the consistent cut is deterministic, so results are
+    /// byte-identical to a crash-free run.
+    ///
+    /// Every node's body must return [`EpochStep::Done`] at the same epoch.
+    /// Barrier-time GC is not supported while checkpointing.
+    pub fn run_epochs<T, R, I, F>(cfg: Config, opts: RunOpts, init: I, body: F) -> RunOutput<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        I: FnOnce(&mut Master<'_>) -> T,
+        F: Fn(&DsmNode, u64, &T) -> EpochStep<R> + Send + Sync,
+    {
+        assert!(
+            cfg.gc.is_none(),
+            "run_epochs: barrier-time GC is not supported with checkpointing"
+        );
+        engine(cfg, opts, true, init, body)
+    }
+}
+
+/// The epoch driver run by each application thread: epochs, the fence, and
+/// panic classification (crash / rollback / teardown).
+fn drive<T, R, F>(shared: &Arc<Shared>, handle: &DsmNode, body: &F, plan: &T) -> R
+where
+    F: Fn(&DsmNode, u64, &T) -> EpochStep<R> + Send + Sync,
+{
+    let id = handle.id();
+    let mut epoch = 0u64;
+    let mut result: Option<R> = None;
+    loop {
+        shared.epochs_now[id].store(epoch, Ordering::Relaxed);
+        shared.ops[id].store(0, Ordering::Relaxed);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let step = body(handle, epoch, plan);
+            if shared.armed {
+                handle.barrier(EPOCH_BARRIER_BASE + (epoch % 8) as usize);
+            }
+            step
+        }));
+        let arrival = match r {
+            Ok(EpochStep::Done(v)) => {
+                result = Some(v);
+                Arrival::Done
+            }
+            Ok(EpochStep::Continue) => Arrival::Completed,
+            Err(p) => {
+                let text = panic_text(p.as_ref());
+                if text == CRASH_MARK {
+                    // Crash site: wait for a peer to suspect us (by
+                    // retransmission exhaustion); self-report if nothing
+                    // was in flight to discover the death.
+                    let deadline = Instant::now() + shared.grace;
+                    while !shared.rollback.load(Ordering::Acquire)
+                        && shared.poison_text().is_none()
+                        && Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    if let Some(cause) = shared.poison_text() {
+                        panic!("{TEARDOWN}{cause}");
+                    }
+                    if !shared.rollback.load(Ordering::Acquire) {
+                        shared.suspect(id);
+                    }
+                    Arrival::Crashed(id)
+                } else if text == ROLLBACK_MARK {
+                    Arrival::Rolled
+                } else if text.starts_with(TEARDOWN) {
+                    std::panic::resume_unwind(p);
+                } else {
+                    // A real application panic. Exactly one panicker wins
+                    // the poison race and surfaces as the primary cause;
+                    // concurrent losers demote themselves to secondaries.
+                    let won = shared.poison(format!("node {id} panicked: {text}"));
+                    if won {
+                        std::panic::resume_unwind(p);
+                    }
+                    let cause = shared.poison_text().unwrap_or_default();
+                    panic!("{TEARDOWN}{cause}");
+                }
+            }
+        };
+        if !shared.armed {
+            return match arrival {
+                Arrival::Done => result.expect("plain body returns Done"),
+                _ => unreachable!("plain runs are single-epoch"),
+            };
+        }
+        match shared.fence(arrival) {
+            Verdict::Proceed(e) => epoch = e,
+            Verdict::Replay(e) => {
+                result = None;
+                epoch = e;
+            }
+            Verdict::Finish => return result.expect("Finish implies Done"),
+            Verdict::Abort => {
+                let cause = shared.poison_text().unwrap_or_default();
+                panic!("{TEARDOWN}{cause}");
+            }
+        }
+    }
+}
+
+/// The shared engine behind [`Dsm::run_faulty`] (plain, single-epoch) and
+/// [`Dsm::run_epochs`] (checkpointed, recoverable).
+/// Silences the default panic-hook report for the runtime's control-flow
+/// panics (crash marks, rollback marks, teardown echoes) — they are always
+/// caught, and their backtraces would drown real diagnostics. Every other
+/// panic is reported by whatever hook was installed before. Installed once,
+/// process-wide, on first engine start.
+fn install_quiet_hook() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let text = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned());
+            if let Some(t) = text {
+                if t == CRASH_MARK || t == ROLLBACK_MARK || t.starts_with(TEARDOWN) {
+                    return;
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn engine<T, R, I, F>(cfg: Config, opts: RunOpts, armed: bool, init: I, body: F) -> RunOutput<R>
+where
+    T: Send + Sync,
+    R: Send,
+    I: FnOnce(&mut Master<'_>) -> T,
+    F: Fn(&DsmNode, u64, &T) -> EpochStep<R> + Send + Sync,
+{
+    install_quiet_hook();
+    let n = cfg.nodes;
+    let header_bytes = cfg.header_bytes;
+    let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(i, cfg.clone())).collect();
+
+    let plan = {
+        let mut master = Master {
+            node0: &mut nodes[0],
+            next: 0,
+        };
+        init(&mut master)
+    };
+
+    // The initial checkpoint: cluster start-up is trivially consistent.
+    let ckpt0 = armed.then(|| (0u64, nodes.iter().map(Node::checkpoint).collect::<Vec<_>>()));
+
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Wire>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let cells: Vec<Arc<NodeCell>> = nodes
+        .into_iter()
+        .map(|node| {
+            Arc::new(NodeCell {
+                inner: Mutex::new(NodeInner {
+                    node,
+                    completions: Vec::new(),
+                }),
+                cv: Condvar::new(),
+            })
+        })
+        .collect();
+    let crash_count = opts.faults.crashes.len();
+    let mut recovery0 = RunRecovery::default();
+    if let Some((_, snaps)) = &ckpt0 {
+        recovery0.checkpoints = 1;
+        recovery0.events.push(RecoveryEvent::CheckpointTake {
+            epoch: 0,
+            pages: snaps.iter().map(|s| s.pages_resident()).sum(),
+            at_us: 0,
+        });
+    }
+    let shared = Arc::new(Shared {
+        cells,
+        senders,
+        traffic: Mutex::new(Traffic::default()),
+        header_bytes,
+        rel: Mutex::new(RelState {
+            rel: Reliability::new(),
+            flights: HashMap::new(),
+        }),
+        faults: opts.faults,
+        policy: opts.policy,
+        sent: AtomicU64::new(0),
+        poison: Mutex::new(None),
+        armed,
+        grace: Duration::from_millis(opts.grace_ms),
+        t0: Instant::now(),
+        gen: AtomicU64::new(0),
+        rollback: AtomicBool::new(false),
+        stop_ticker: AtomicBool::new(false),
+        down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        suspected: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        crash_fired: (0..crash_count).map(|_| AtomicBool::new(false)).collect(),
+        ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        epochs_now: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        links: Mutex::new(BTreeMap::new()),
+        delayed: Mutex::new(Vec::new()),
+        recovery: Mutex::new(recovery0),
+        severed: AtomicU64::new(0),
+        ckpt: Mutex::new(ckpt0),
+        fence: Fence {
+            state: Mutex::new(FenceState {
+                arrived: 0,
+                done: 0,
+                crashed: Vec::new(),
+                round: 0,
+                epoch: 0,
+                verdict: None,
+            }),
+            cv: Condvar::new(),
+        },
+    });
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        // Retransmission / delayed-delivery ticker.
+        {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || shared.ticker());
+        }
+        // Service threads: deliver protocol messages.
+        for (id, rx) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                while let Ok(wire) = rx.recv() {
+                    let (env, pid, mgen) = match wire {
+                        Wire::Env(e, p, g) => (e, p, g),
+                        Wire::Stop => return,
+                    };
+                    if let Some(pid) = pid {
+                        let mut st = shared.rel.lock();
+                        // Delivery confirms receipt (the ack rides the
+                        // reply) and cancels the retransmit timer;
+                        // duplicates never reach the handler.
+                        st.rel.acked(pid);
+                        st.flights.remove(&pid);
+                        if !st.rel.accept(pid) {
+                            continue;
                         }
-                        let cell = &shared.cells[id];
-                        let handled = {
-                            let mut inner = cell.inner.lock();
-                            catch_unwind(AssertUnwindSafe(|| inner.node.handle(env)))
-                        };
-                        let (sends, actions) = match handled {
+                    }
+                    let cell = &shared.cells[id];
+                    let sends = {
+                        let mut inner = cell.inner.lock();
+                        // A message stamped before a rollback's restore
+                        // must never touch restored state; the check sits
+                        // under the cell lock, which recovery also holds
+                        // to restore, so it cannot race the restore.
+                        if shared.armed && mgen != shared.gen.load(Ordering::Acquire) {
+                            continue;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| inner.node.handle(env))) {
                             Ok(h) => {
-                                let mut inner = cell.inner.lock();
-                                inner.completions.extend(h.actions.iter().copied());
-                                (h.sends, h.actions)
+                                if !h.actions.is_empty() {
+                                    inner.completions.extend(h.actions.iter().copied());
+                                    cell.cv.notify_all();
+                                }
+                                h.sends
                             }
                             Err(p) => {
-                                // A service-thread panic would deadlock every
-                                // peer waiting on this node: tear down.
+                                // A service-thread panic would deadlock
+                                // every peer waiting on this node: tear
+                                // down.
+                                drop(inner);
                                 shared.poison(format!(
                                     "service thread of node {id} panicked: {}",
                                     panic_text(p.as_ref())
                                 ));
                                 return;
                             }
-                        };
-                        if !actions.is_empty() {
-                            cell.cv.notify_all();
                         }
-                        shared.transmit(sends);
-                    }
-                });
-            }
-            // Application threads.
-            let body = &body;
-            let plan = &plan;
-            let mut apps = Vec::with_capacity(n);
-            for (id, slot) in results.iter_mut().enumerate() {
-                let shared = Arc::clone(&shared);
-                apps.push(scope.spawn(move || {
-                    let handle = DsmNode {
-                        id,
-                        shared: Arc::clone(&shared),
                     };
-                    match catch_unwind(AssertUnwindSafe(|| body(&handle, plan))) {
-                        Ok(v) => *slot = Some(v),
-                        Err(p) => {
-                            // Wake peers blocked on this node before dying,
-                            // surfacing the original panic to the join below.
-                            if !panic_text(p.as_ref()).starts_with(TEARDOWN) {
-                                shared.poison(format!(
-                                    "node {id} panicked: {}",
-                                    panic_text(p.as_ref())
-                                ));
-                            }
-                            std::panic::resume_unwind(p);
-                        }
-                    }
-                }));
-            }
-            // Join the application threads, then release the service
-            // threads (the scope would otherwise wait on them forever).
-            // Secondary teardown panics (peers woken from a poisoned
-            // cluster) lose to the originating panic.
-            let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
-            let mut panicked_secondary = false;
-            for h in apps {
-                if let Err(p) = h.join() {
-                    let secondary = panic_text(p.as_ref()).starts_with(TEARDOWN);
-                    if panicked.is_none() || (panicked_secondary && !secondary) {
-                        panicked = Some(p);
-                        panicked_secondary = secondary;
-                    }
+                    // Derived sends inherit the triggering message's
+                    // generation: work derived from stale state stays
+                    // stale.
+                    shared.transmit_as(mgen, sends);
+                }
+            });
+        }
+        // Application threads: epoch drivers.
+        let body = &body;
+        let plan = &plan;
+        let mut apps = Vec::with_capacity(n);
+        for (id, slot) in results.iter_mut().enumerate() {
+            let shared = Arc::clone(&shared);
+            apps.push(scope.spawn(move || {
+                let handle = DsmNode {
+                    id,
+                    shared: Arc::clone(&shared),
+                };
+                *slot = Some(drive(&shared, &handle, body, plan));
+            }));
+        }
+        // Join the application threads, then release the service threads
+        // and the ticker (the scope would otherwise wait on them forever).
+        // Secondary teardown panics (peers woken from a poisoned cluster)
+        // lose to the originating panic.
+        let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut panicked_secondary = false;
+        for h in apps {
+            if let Err(p) = h.join() {
+                let secondary = panic_text(p.as_ref()).starts_with(TEARDOWN);
+                if panicked.is_none() || (panicked_secondary && !secondary) {
+                    panicked = Some(p);
+                    panicked_secondary = secondary;
                 }
             }
-            for tx in &shared.senders {
-                let _ = tx.send(Wire::Stop);
-            }
-            if let Some(p) = panicked {
-                std::panic::resume_unwind(p);
-            }
-        });
+        }
+        shared.stop_ticker.store(true, Ordering::Release);
+        for tx in &shared.senders {
+            let _ = tx.send(Wire::Stop);
+        }
+        if let Some(p) = panicked {
+            std::panic::resume_unwind(p);
+        }
+    });
 
-        // A service thread may have died without any app thread noticing
-        // (its panic must still surface, not vanish).
-        if let Some(msg) = shared.poison_text() {
-            panic!("{TEARDOWN}{msg}");
-        }
+    // A service thread may have died without any app thread noticing
+    // (its panic must still surface, not vanish).
+    if let Some(msg) = shared.poison_text() {
+        panic!("{TEARDOWN}{msg}");
+    }
 
-        let traffic = *shared.traffic.lock();
-        let reliability = *shared.rel.lock().stats();
-        let mut stats = NodeStats::default();
-        for cell in &shared.cells {
-            stats.merge(cell.inner.lock().node.stats());
+    let traffic = *shared.traffic.lock();
+    let reliability = *shared.rel.lock().rel.stats();
+    let mut stats = NodeStats::default();
+    for cell in &shared.cells {
+        stats.merge(cell.inner.lock().node.stats());
+    }
+    let mut recovery = std::mem::take(&mut *shared.recovery.lock());
+    recovery.severed = shared.severed.load(Ordering::Relaxed);
+    let faults = {
+        let links = shared.links.lock();
+        let per_link: Vec<_> = links.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut sum = FaultSummary {
+            per_link,
+            ..Default::default()
+        };
+        let (mut drops, mut dups, mut delays) = (0, 0, 0);
+        for (_, l) in &sum.per_link {
+            drops += l.drops;
+            dups += l.dups;
+            delays += l.delays;
         }
-        RunOutput {
-            results: results.into_iter().map(|r| r.expect("body ran")).collect(),
-            stats,
-            traffic,
-            reliability,
-        }
+        sum.drops = drops;
+        sum.dups = dups;
+        sum.delays = delays;
+        sum
+    };
+    RunOutput {
+        results: results.into_iter().map(|r| r.expect("body ran")).collect(),
+        stats,
+        traffic,
+        reliability,
+        recovery,
+        faults,
     }
 }
 
@@ -663,7 +1447,10 @@ mod tests {
         // must report the suppressed copies.
         let out = Dsm::run_faulty(
             small(4),
-            ChannelFaults { duplicate_every: 2 },
+            ChannelFaults {
+                duplicate_every: 2,
+                ..Default::default()
+            },
             |_| (),
             |node, ()| {
                 for _ in 0..25 {
@@ -683,6 +1470,158 @@ mod tests {
             out.reliability
         );
         assert_eq!(out.reliability.retransmissions, 0, "channels lose nothing");
+    }
+
+    /// A deterministic lock-free program: every node publishes a slot each
+    /// round and reads everyone's; the message stream (and thus each
+    /// packet's `(src, dst, seq)`) does not depend on thread interleaving.
+    fn publish_sum(node: &DsmNode, rounds: u64) -> u64 {
+        let n = node.nodes();
+        let me = node.id();
+        let mut acc = 0u64;
+        for r in 0..rounds {
+            node.write_u64(me * 8, r * 1000 + me as u64);
+            node.barrier(3);
+            acc += (0..n).map(|q| node.read_u64(q * 8)).sum::<u64>();
+            node.barrier(4);
+        }
+        acc
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_fault_pattern_on_real_threads() {
+        // Packet fates are a pure hash of (seed, src, dst, seq, attempt),
+        // so two runs of a deterministic program under the same seed must
+        // see byte-identical per-link fault schedules — regardless of how
+        // the OS schedules the threads. Only attempt-0 copies exist here:
+        // dups and delays never trigger retransmission, and the huge RTO
+        // keeps host-load-induced spurious retransmissions (which would add
+        // timing-dependent attempts) out. Drop determinism is covered by
+        // the pure-hash fate tests and the repair test below.
+        let faults = ChannelFaults::seeded(5).dup_rate(0.10).delay_rate(0.10, 200);
+        let opts = RunOpts {
+            faults,
+            policy: RetransmitPolicy {
+                timeout: 1_000_000,
+                backoff: 2,
+                max_retries: 8,
+                adaptive: None,
+            },
+            grace_ms: 50,
+        };
+        let run = || {
+            engine(small(4), opts.clone(), false, |_| (), |node, _, ()| {
+                EpochStep::Done(publish_sum(node, 4))
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.faults, b.faults, "fault schedule must replay exactly");
+        assert!(
+            a.faults.dups > 0 && a.faults.delays > 0,
+            "the plan must actually fire: {:?}",
+            a.faults
+        );
+    }
+
+    #[test]
+    fn retransmissions_repair_seeded_drops() {
+        let out = Dsm::run_faulty(
+            small(4),
+            ChannelFaults::seeded(21).drop_rate(0.08),
+            |_| (),
+            |node, ()| publish_sum(node, 4),
+        );
+        let expect: u64 = (0..4u64).map(|r| (0..4).map(|q| r * 1000 + q).sum::<u64>()).sum();
+        assert!(out.results.into_iter().all(|v| v == expect));
+        assert!(out.faults.drops > 0, "the seed must drop something");
+        assert!(
+            out.reliability.retransmissions > 0,
+            "drops must be repaired by retransmission: {:?}",
+            out.reliability
+        );
+    }
+
+    #[test]
+    fn fault_free_runs_never_retransmit() {
+        let out = Dsm::run_full(small(4), |_| (), |node, ()| publish_sum(node, 4));
+        assert_eq!(out.reliability.retransmissions, 0);
+        assert_eq!(out.reliability.timeouts, 0);
+        assert_eq!(out.faults.drops + out.faults.dups + out.faults.delays, 0);
+        assert!(!out.recovery.any(), "plain runs do no recovery work");
+    }
+
+    #[test]
+    fn concurrent_panics_surface_exactly_one_primary() {
+        // All nodes panic at once: exactly one must win the poison race
+        // and surface as the primary cause; every loser demotes itself to
+        // a TEARDOWN-prefixed secondary (and loses the join). Repeat to
+        // give the race a chance to land in different orders.
+        for _ in 0..20 {
+            let r = std::panic::catch_unwind(|| {
+                Dsm::run(small(4), |node| {
+                    panic!("boom {}", node.id());
+                })
+            });
+            let p = r.expect_err("panic must propagate");
+            let text = panic_text(p.as_ref());
+            assert!(
+                text.starts_with("boom "),
+                "the primary panic surfaces unwrapped, got: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_recovery_replays_to_identical_results() {
+        let body = |node: &DsmNode, epoch: u64, _: &()| {
+            if epoch < 3 {
+                let addr = node.id() * 8;
+                let v = node.read_u64(addr);
+                node.write_u64(addr, v + (epoch + 1) * (node.id() as u64 + 1));
+                EpochStep::Continue
+            } else {
+                // Prior epochs all ended at a barrier, so every write is
+                // visible here.
+                EpochStep::Done((0..node.nodes()).map(|q| node.read_u64(q * 8)).sum::<u64>())
+            }
+        };
+        let clean = Dsm::run_epochs(small(3), RunOpts::default(), |_| (), body);
+        let opts = RunOpts {
+            faults: ChannelFaults::default().crash(1, 1, 1),
+            ..RunOpts::default()
+        };
+        let crashed = Dsm::run_epochs(small(3), opts, |_| (), body);
+        let expect: u64 = (0..3u64).map(|id| (1 + 2 + 3) * (id + 1)).sum();
+        assert!(clean.results.iter().all(|&v| v == expect));
+        assert_eq!(clean.results, crashed.results, "recovery must be exact");
+        assert_eq!(crashed.recovery.crashes, 1);
+        assert_eq!(crashed.recovery.rollbacks, 1, "one crash, one rollback");
+        assert!(crashed.recovery.suspected >= 1);
+        assert!(crashed.recovery.checkpoints >= clean.recovery.checkpoints);
+        assert_eq!(clean.recovery.rollbacks, 0);
+    }
+
+    #[test]
+    fn crash_without_checkpoint_is_unrecoverable() {
+        let r = std::panic::catch_unwind(|| {
+            Dsm::run_faulty(
+                small(3),
+                ChannelFaults::default().crash(0, 0, 2),
+                |_| (),
+                |node, ()| {
+                    node.write_u64(node.id() * 8, 1);
+                    node.barrier(0);
+                },
+            )
+        });
+        let p = r.expect_err("an unarmed crash must tear the cluster down");
+        let text = panic_text(p.as_ref());
+        assert!(
+            text.contains("no checkpoint armed: unrecoverable"),
+            "got: {text}"
+        );
     }
 
     #[test]

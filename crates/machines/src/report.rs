@@ -59,6 +59,10 @@ pub struct RunReport {
     /// Crash-fault and checkpoint/recovery statistics (all-zero unless the
     /// fault plan schedules node crashes or checkpointing is armed).
     pub recovery: RecoveryStats,
+    /// Multi-tenant service metrics, present only for runs of the
+    /// real-thread DSM service (`tmk_core::service`). Everything in it is
+    /// deterministic (plan-derived virtual time and DSM checksums).
+    pub service: Option<tmk_core::service::ServiceReport>,
 }
 
 /// Counters from the node-crash fault model: barrier-epoch checkpoints,
@@ -180,6 +184,41 @@ impl RunReport {
                     .set("tokens_regenerated", self.recovery.tokens_regenerated)
                     .set("pages_refetched", self.recovery.pages_refetched)
                     .set("recovery_cycles", self.recovery.recovery_cycles),
+            );
+        }
+        // The service block exists only for real-thread service runs; every
+        // simulated record keeps its exact committed shape.
+        if let Some(s) = &self.service {
+            j = j.set(
+                "service",
+                Json::obj()
+                    .set("epochs", s.epochs)
+                    .set("makespan_us", s.makespan_us)
+                    .set("total_shed", s.total_shed)
+                    .set("lock_counter", s.lock_counter)
+                    .set("checkpoints", s.checkpoints)
+                    .set("crashes", s.crashes)
+                    .set("suspected", s.suspected)
+                    .set("rollbacks", s.rollbacks)
+                    .set(
+                        "tenants",
+                        Json::Arr(
+                            s.tenants
+                                .iter()
+                                .map(|t| {
+                                    Json::obj()
+                                        .set("tenant", t.tenant)
+                                        .set("offered", t.offered)
+                                        .set("completed", t.completed)
+                                        .set("shed", t.shed)
+                                        .set("throughput_rps", t.throughput_rps)
+                                        .set("p50_us", t.p50_us)
+                                        .set("p99_us", t.p99_us)
+                                        .set("checksum", t.checksum)
+                                })
+                                .collect(),
+                        ),
+                    ),
             );
         }
         j = j.set(

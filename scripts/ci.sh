@@ -33,6 +33,20 @@ timeout "${CHAOS_TIMEOUT:-600}" \
 grep -q "rollbacks=1" target/smoke/recovery.txt \
     || { echo "recovery smoke saw no rollback"; exit 1; }
 
+echo "== service: multi-tenant DSM service on the real-thread runtime =="
+# The renderer fails unless every tenant stays byte-identical to its
+# fault-free solo baseline under drops, delays and a scheduled node crash,
+# and unless overload sheds loudly. The greps pin that the quick tier
+# exercised a *real* runtime rollback and that baseline offered load was
+# never shed.
+timeout "${CHAOS_TIMEOUT:-600}" \
+    ./target/release/suite --experiment service --quick \
+    --json --out target/smoke > target/smoke/service.txt
+grep -q "rollbacks=1" target/smoke/service.txt \
+    || { echo "service smoke saw no live-cluster rollback"; exit 1; }
+grep -q "shed=0" target/smoke/service.txt \
+    || { echo "service smoke lost the zero-shed baseline"; exit 1; }
+
 echo "== scaling: barrier-time GC memory bound =="
 # The experiment's renderer fails (nonzero exit) unless GC-on runs stay
 # result-identical to GC-free and hold the diff-cache and interval-store
